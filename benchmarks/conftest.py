@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the experiment once inside pytest-benchmark (the runs are deterministic,
+so one round suffices), prints the paper-style rows, and writes them to
+``benchmarks/results/<artifact>.txt`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench import default_scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Benchmark scale (ratios of the paper's setup; see bench.config)."""
+    return default_scale()
+
+
+@pytest.fixture
+def emit():
+    """Print a result table and persist it under benchmarks/results/."""
+
+    def _emit(artifact: str, text: str) -> None:
+        banner = f"==== {artifact} ===="
+        print(f"\n{banner}\n{text}\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{artifact}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def deep_scale(scale):
+    """A variant with 128 KB MemTables.
+
+    The paper's dataset-to-MemTable ratio is ~1280; the figures that
+    depend on deep LSM dynamics (level sweeps, dataset sweeps, write
+    amplification, where data must reach the bottom level and the data
+    repository) need a three-digit ratio, which the default 1 MB
+    MemTable cannot give at tractable dataset sizes.
+    """
+    from repro.bench import BenchScale
+
+    return BenchScale(
+        memtable_bytes=128 << 10,
+        dataset_bytes=scale.dataset_bytes,
+        value_size=scale.value_size,
+        rw_ops=scale.rw_ops,
+        nvm_buffer_bytes=scale.nvm_buffer_bytes,
+    )

@@ -1,0 +1,61 @@
+"""Ablation study over MioDB's design choices (DESIGN.md Section 4).
+
+Not a paper artifact -- this quantifies how much each MioDB technique
+contributes by turning them off one at a time:
+
+- one-piece flushing vs NoveLSM-style per-KV flushing,
+- zero-copy vs copying buffer compaction,
+- parallel vs single-thread compaction,
+- bloom filters on/off for reads.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, make_store
+from repro.workloads import fill_random, read_random
+
+CONFIGS = [
+    ("full", {}),
+    ("no-one-piece-flush", {"one_piece_flush": False}),
+    ("no-zero-copy", {"zero_copy": False}),
+    ("serial-compaction", {"parallel_compaction": False}),
+    ("no-blooms", {"use_blooms": False}),
+]
+
+
+def run_ablation(scale):
+    rows = []
+    n = scale.n_records
+    for label, overrides in CONFIGS:
+        store, system = make_store("miodb", scale, **overrides)
+        write = fill_random(store, n, scale.value_size)
+        read = read_random(store, min(scale.rw_ops, n), n)
+        rows.append(
+            [
+                label,
+                write.kiops,
+                write.latency.p999 * 1e6,
+                read.kiops,
+                system.write_amplification(),
+                system.stats.get("flush.time_s"),
+            ]
+        )
+    return rows
+
+
+def test_ablation(benchmark, scale, emit):
+    rows = run_once(benchmark, lambda: run_ablation(scale))
+    text = format_table(
+        ["config", "write_KIOPS", "write_p999_us", "read_KIOPS", "WA", "flush_s"],
+        rows,
+    )
+    emit("ablation", text)
+
+    by = {r[0]: r for r in rows}
+    full = by["full"]
+    # each removed technique costs something on its target axis
+    assert by["no-one-piece-flush"][5] > full[5]  # slower flushing
+    assert by["no-zero-copy"][4] > full[4]  # more write amplification
+    assert by["no-blooms"][3] < full[3]  # slower reads
+    # the full configuration is the best overall writer
+    assert full[1] >= max(r[1] for r in rows) * 0.95

@@ -1,0 +1,82 @@
+"""Figure 6: db_bench microbenchmarks vs value size (1 KB - 64 KB).
+
+The paper reports random/sequential write and read throughput+latency for
+MioDB, MatrixKV, and NoveLSM in in-memory mode.  Headline: MioDB improves
+random-write throughput 2.5x (avg) over MatrixKV and 8.3x over NoveLSM,
+and random reads 1.3x / 4.4x.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, make_store
+from repro.workloads import fill_random, fill_seq, read_random, read_seq
+
+KB = 1 << 10
+VALUE_SIZES = [1 * KB, 4 * KB, 16 * KB, 64 * KB]
+STORES = ("miodb", "matrixkv", "novelsm")
+
+
+def run_microbench(scale):
+    rows = {"randwrite": [], "seqwrite": [], "randread": [], "seqread": []}
+    for value_size in VALUE_SIZES:
+        n = scale.records_for(value_size)
+        reads = min(scale.rw_ops, n)
+        for name in STORES:
+            store, system = make_store(name, scale)
+            rw = fill_random(store, n, value_size)
+            store.quiesce()
+            rr = read_random(store, reads, n)
+            rows["randwrite"].append([value_size // KB, name, rw.kiops, rw.latency.mean * 1e6])
+            rows["randread"].append([value_size // KB, name, rr.kiops, rr.latency.mean * 1e6])
+
+            store, system = make_store(name, scale)
+            sw = fill_seq(store, n, value_size)
+            store.quiesce()
+            sr = read_seq(store, reads, n)
+            rows["seqwrite"].append([value_size // KB, name, sw.kiops, sw.latency.mean * 1e6])
+            rows["seqread"].append([value_size // KB, name, sr.kiops, sr.latency.mean * 1e6])
+    return rows
+
+
+def geo_ratio(rows, numerator, denominator):
+    """Average throughput ratio numerator/denominator across value sizes."""
+    by_size = {}
+    for size, name, kiops, __ in rows:
+        by_size.setdefault(size, {})[name] = kiops
+    ratios = [sizes[numerator] / sizes[denominator] for sizes in by_size.values()]
+    return sum(ratios) / len(ratios)
+
+
+def test_fig06_microbench(benchmark, scale, emit):
+    rows = run_once(benchmark, lambda: run_microbench(scale))
+    sections = []
+    for panel, title in [
+        ("randwrite", "(a) random write"),
+        ("seqwrite", "(b) sequential write"),
+        ("randread", "(c) random read"),
+        ("seqread", "(d) sequential read"),
+    ]:
+        sections.append(
+            f"{title}\n"
+            + format_table(["value_KB", "store", "KIOPS", "avg_us"], rows[panel])
+        )
+    text = "\n\n".join(sections)
+
+    vs_matrix = geo_ratio(rows["randwrite"], "miodb", "matrixkv")
+    vs_novelsm = geo_ratio(rows["randwrite"], "miodb", "novelsm")
+    rd_matrix = geo_ratio(rows["randread"], "miodb", "matrixkv")
+    rd_novelsm = geo_ratio(rows["randread"], "miodb", "novelsm")
+    text += (
+        f"\n\nrandom write: miodb/matrixkv = {vs_matrix:.1f}x (paper 2.5x), "
+        f"miodb/novelsm = {vs_novelsm:.1f}x (paper 8.3x)"
+        f"\nrandom read:  miodb/matrixkv = {rd_matrix:.1f}x (paper 1.3x), "
+        f"miodb/novelsm = {rd_novelsm:.1f}x (paper 4.4x)"
+    )
+    emit("fig06_microbench", text)
+
+    assert vs_matrix > 1.5
+    assert vs_novelsm > 3.0
+    assert rd_matrix > 1.0
+    assert rd_novelsm > 1.0
+    assert geo_ratio(rows["seqwrite"], "miodb", "matrixkv") > 1.0
+    assert geo_ratio(rows["seqread"], "miodb", "novelsm") > 1.0

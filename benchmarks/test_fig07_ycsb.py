@@ -1,0 +1,70 @@
+"""Figure 7: YCSB throughput (KIOPS) in in-memory mode.
+
+The paper loads 80 GB, then runs workloads A-F with 1M ops at 4 KB and
+1 KB values on NoveLSM, MatrixKV, NoveLSM-NoSST, and MioDB.  Headlines:
+MioDB's load throughput is 12.1x NoveLSM / 2.8x MatrixKV / 2.2x NoSST;
+NoveLSM-NoSST wins the scan-heavy workload E.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, make_store
+from repro.workloads import YCSB_WORKLOADS, load_phase, run_workload
+
+KB = 1 << 10
+STORES = ("novelsm", "matrixkv", "novelsm-nosst", "miodb")
+PHASES = ["load", "A", "B", "C", "D", "E", "F"]
+
+
+def run_ycsb(scale, value_size):
+    n = scale.records_for(value_size)
+    ops = scale.rw_ops
+    results = {}
+    for name in STORES:
+        store, system = make_store(name, scale)
+        load = load_phase(store, n, value_size)
+        kiops = {"load": load.kiops}
+        for wl in "ABCDEF":
+            spec = YCSB_WORKLOADS[wl]
+            wl_ops = ops // 10 if wl == "E" else ops  # scans are 50x heavier
+            result = run_workload(store, spec, wl_ops, n, value_size, seed=31)
+            kiops[wl] = result.kiops
+        results[name] = kiops
+    return results
+
+
+def render(results):
+    rows = [
+        [name] + [results[name][phase] for phase in PHASES] for name in STORES
+    ]
+    return format_table(["store"] + [f"{p}_KIOPS" for p in PHASES], rows)
+
+
+def test_fig07_ycsb_4kb(benchmark, scale, emit):
+    results = run_once(benchmark, lambda: run_ycsb(scale, 4 * KB))
+    emit("fig07_ycsb_4kb", render(results))
+    mio, novel = results["miodb"], results["novelsm"]
+    matrix, nosst = results["matrixkv"], results["novelsm-nosst"]
+    # load: MioDB beats everything (paper: 12.1x / 2.8x / 2.2x)
+    assert mio["load"] > 3 * novel["load"]
+    assert mio["load"] > 1.5 * matrix["load"]
+    assert mio["load"] > 1.3 * nosst["load"]
+    # write-dominant A and F: MioDB beats NoveLSM and MatrixKV
+    for wl in ("A", "F"):
+        assert mio[wl] > matrix[wl]
+        assert mio[wl] > novel[wl]
+    # read-dominant B, C, D: MioDB at least matches the SSTable baselines
+    for wl in ("B", "C", "D"):
+        assert mio[wl] > matrix[wl]
+        assert mio[wl] > novel[wl]
+    # scan-heavy E: the single big skip list is the best fit (paper)
+    assert nosst["E"] >= mio["E"]
+
+
+def test_fig07_ycsb_1kb(benchmark, scale, emit):
+    results = run_once(benchmark, lambda: run_ycsb(scale, 1 * KB))
+    emit("fig07_ycsb_1kb", render(results))
+    mio = results["miodb"]
+    assert mio["load"] > results["novelsm"]["load"]
+    assert mio["load"] > results["matrixkv"]["load"]
+    assert mio["A"] > results["matrixkv"]["A"]

@@ -1,0 +1,67 @@
+"""Figure 13: the DRAM-NVM-SSD hierarchy (paper Section 5.4).
+
+All stores keep SSTables on the SSD; MioDB's elastic NVM buffer absorbs
+bursts before lazy-flushing to the SSD.  Paper: MioDB improves random
+write throughput 10.5x / 11.2x over MatrixKV / NoveLSM and YCSB load
+11.8x / 12.1x.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, make_store
+from repro.workloads import (
+    YCSB_WORKLOADS,
+    fill_random,
+    load_phase,
+    read_random,
+    run_workload,
+)
+
+KB = 1 << 10
+STORES = ("miodb", "matrixkv", "novelsm")
+
+
+def run_ssd_mode(scale):
+    n = scale.n_records
+    micro_rows = []
+    for name in STORES:
+        store, system = make_store(name, scale, ssd=True)
+        write = fill_random(store, n, scale.value_size)
+        read = read_random(store, min(scale.rw_ops, n), n)
+        micro_rows.append([name, write.kiops, read.kiops])
+
+    ycsb_rows = []
+    for name in STORES:
+        store, system = make_store(name, scale, ssd=True)
+        load = load_phase(store, n, scale.value_size)
+        row = [name, load.kiops]
+        for wl in "ABCDF":
+            result = run_workload(
+                store, YCSB_WORKLOADS[wl], scale.rw_ops, n, scale.value_size
+            )
+            row.append(result.kiops)
+        ycsb_rows.append(row)
+    return micro_rows, ycsb_rows
+
+
+def test_fig13_ssd_mode(benchmark, scale, emit):
+    micro_rows, ycsb_rows = run_once(benchmark, lambda: run_ssd_mode(scale))
+    text = (
+        "(a+b) db_bench random write/read\n"
+        + format_table(["store", "randwrite_KIOPS", "randread_KIOPS"], micro_rows)
+        + "\n\n(c) YCSB\n"
+        + format_table(
+            ["store", "load", "A", "B", "C", "D", "F"], ycsb_rows
+        )
+    )
+    emit("fig13_ssd_mode", text)
+
+    micro = {r[0]: r for r in micro_rows}
+    assert micro["miodb"][1] > 3 * micro["matrixkv"][1]
+    assert micro["miodb"][1] > 3 * micro["novelsm"][1]
+    assert micro["miodb"][2] > micro["matrixkv"][2]
+    ycsb = {r[0]: r for r in ycsb_rows}
+    assert ycsb["miodb"][1] > 3 * ycsb["matrixkv"][1]  # load
+    assert ycsb["miodb"][1] > 3 * ycsb["novelsm"][1]
+    for idx in (2, 3, 4):  # A, B, C
+        assert ycsb["miodb"][idx] > ycsb["matrixkv"][idx]

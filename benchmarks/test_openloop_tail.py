@@ -1,0 +1,64 @@
+"""Open-loop tail-latency analysis (extension; SILK-style, not a paper
+artifact).
+
+The paper's YCSB numbers are closed-loop.  Under an open-loop Poisson
+arrival process the baselines' write stalls turn into queueing delay and
+their response-time tails explode, while MioDB -- with no stalls -- keeps
+its tail near its service time even at high offered rates.
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, make_store
+from repro.kvstore.values import SizedValue
+from repro.workloads.openloop import run_open_loop
+
+RATES = [20_000, 50_000, 100_000]
+STORES = ("miodb", "matrixkv", "novelsm")
+
+
+def run_openloop_sweep(scale):
+    rows = []
+    n = scale.n_records
+    for rate in RATES:
+        for name in STORES:
+            store, __ = make_store(name, scale)
+
+            def op(i, store=store):
+                store.put(
+                    b"user%012d" % ((i * 7919) % n),
+                    SizedValue(i, scale.value_size),
+                )
+
+            result = run_open_loop(store, op, min(6000, n), rate, seed=3)
+            rows.append(
+                [
+                    rate // 1000,
+                    name,
+                    result.achieved_rate / 1000,
+                    result.response.p50 * 1e6,
+                    result.response.p999 * 1e6,
+                    "yes" if result.saturated else "no",
+                ]
+            )
+    return rows
+
+
+def test_openloop_tail(benchmark, scale, emit):
+    rows = run_once(benchmark, lambda: run_openloop_sweep(scale))
+    text = format_table(
+        ["offered_Kops", "store", "achieved_Kops", "p50_us", "p99.9_us",
+         "saturated"],
+        rows,
+    )
+    emit("openloop_tail", text)
+
+    by = {(r[0], r[1]): r for r in rows}
+    for rate in (20, 50, 100):
+        # MioDB's open-loop p99.9 stays far below the baselines'
+        assert by[(rate, "miodb")][4] < by[(rate, "matrixkv")][4]
+        assert by[(rate, "miodb")][4] < by[(rate, "novelsm")][4]
+        assert by[(rate, "miodb")][5] == "no"
+    # at 100 Kops/s the baselines are saturated, MioDB is not
+    assert by[(100, "matrixkv")][5] == "yes"
+    assert by[(100, "novelsm")][5] == "yes"

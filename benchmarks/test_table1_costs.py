@@ -1,0 +1,64 @@
+"""Table 1: cost analysis of MioDB, MatrixKV, and NoveLSM.
+
+Paper values (80 GB fillrandom + 1M reads, in-memory mode):
+
+    cost                 MioDB   MatrixKV  NoveLSM
+    interval stalls (s)  0       0         496.9
+    cumulative stalls    28.1    731.3     1071.3
+    deserialization (s)  0       74.3      82.3
+    flushing (s)         13.6    191.0     511.8
+    write amplification  2.9x    5.6x      6.6x
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, make_store
+from repro.workloads import fill_random, read_random
+
+
+def run_cost_analysis(scale):
+    rows = []
+    n = scale.n_records
+    for name in ("miodb", "matrixkv", "novelsm"):
+        store, system = make_store(name, scale)
+        fill_random(store, n, scale.value_size)
+        store.quiesce()
+        read = read_random(store, scale.rw_ops, n)
+        rows.append(
+            [
+                name,
+                system.stats.get("stall.interval_s"),
+                system.stats.get("stall.cumulative_s"),
+                read.stats_delta.get("deserialize.time_s", 0.0),
+                system.stats.get("flush.time_s"),
+                system.write_amplification(),
+            ]
+        )
+    return rows
+
+
+def test_table1_costs(benchmark, scale, emit):
+    rows = run_once(benchmark, lambda: run_cost_analysis(scale))
+    text = format_table(
+        ["store", "interval_stall_s", "cumulative_stall_s",
+         "read_deserialize_s", "flushing_s", "WA"],
+        rows,
+    )
+    emit("table1_costs", text)
+
+    by_name = {r[0]: r for r in rows}
+    mio, matrix, novel = by_name["miodb"], by_name["matrixkv"], by_name["novelsm"]
+    # MioDB and MatrixKV eliminate interval stalls; NoveLSM does not.
+    assert mio[1] == 0.0
+    assert matrix[1] == 0.0
+    assert novel[1] > 0.0
+    # MioDB's cumulative stalls are tiny compared with both baselines.
+    assert mio[2] < 0.05 * matrix[2] + 1e-12
+    assert mio[2] < 0.05 * novel[2] + 1e-12
+    # MioDB performs no deserialization on reads.
+    assert mio[3] == 0.0
+    assert matrix[3] > 0.0 and novel[3] > 0.0
+    # MioDB flushes far faster, and its WA is lowest and near 3.
+    assert mio[4] < matrix[4] and mio[4] < novel[4]
+    assert mio[5] < matrix[5] < novel[5] * 1.6
+    assert mio[5] <= 3.2

@@ -1,0 +1,51 @@
+"""Table 2: tail latencies of YCSB workload A (in-memory mode).
+
+Paper (4 KB values): MioDB p99.9 = 44.7 us vs MatrixKV 973.6 us (21.7x)
+and NoveLSM 764.3 us (17.1x).
+"""
+
+from conftest import run_once
+
+from repro.bench import format_table, make_store
+from repro.workloads import YCSB_WORKLOADS, load_phase, run_workload
+
+KB = 1 << 10
+STORES = ("novelsm", "matrixkv", "miodb")
+
+
+def run_tail_latency(scale, value_size):
+    rows = []
+    n = scale.records_for(value_size)
+    for name in STORES:
+        store, system = make_store(name, scale)
+        load_phase(store, n, value_size)
+        result = run_workload(store, YCSB_WORKLOADS["A"], scale.rw_ops, n, value_size)
+        us = result.latency.as_micros()
+        rows.append([name, us["avg"], us["p90"], us["p99"], us["p99.9"]])
+    return rows
+
+
+def test_table2_tail_latency(benchmark, scale, emit):
+    value_size = 4 * KB
+    rows4 = run_once(benchmark, lambda: run_tail_latency(scale, value_size))
+    rows1 = run_tail_latency(scale, 1 * KB)
+    text = (
+        "4 KB values\n"
+        + format_table(["store", "avg_us", "p90_us", "p99_us", "p99.9_us"], rows4)
+        + "\n\n1 KB values\n"
+        + format_table(["store", "avg_us", "p90_us", "p99_us", "p99.9_us"], rows1)
+    )
+    by4 = {r[0]: r for r in rows4}
+    ratio_m = by4["matrixkv"][4] / by4["miodb"][4]
+    ratio_n = by4["novelsm"][4] / by4["miodb"][4]
+    text += (
+        f"\n\np99.9 ratios at 4 KB: matrixkv/miodb = {ratio_m:.1f}x (paper 21.7x), "
+        f"novelsm/miodb = {ratio_n:.1f}x (paper 17.1x)"
+    )
+    emit("table2_tail_latency", text)
+
+    assert ratio_m > 5.0
+    assert ratio_n > 5.0
+    by1 = {r[0]: r for r in rows1}
+    assert by1["miodb"][4] < by1["matrixkv"][4]
+    assert by1["miodb"][1] < by1["matrixkv"][1]  # avg too

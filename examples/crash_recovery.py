@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Crash a MioDB mid-flush and recover it (paper Section 4.7).
+
+Arms a cooperative crash point so the store dies between the one-piece
+memcpy and the pointer swizzling, then rebuilds the store from its
+persistent pieces: swizzled PMTables, the data repository, and the
+write-ahead log.  Every acknowledged write must survive.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import HybridMemorySystem, MioDB, MioOptions, SizedValue, recover
+from repro.persist.crash import CrashInjector, SimulatedCrash
+
+KB = 1 << 10
+
+
+def main() -> None:
+    system = HybridMemorySystem()
+    injector = CrashInjector()
+    store = MioDB(
+        system,
+        MioOptions(memtable_bytes=16 * KB, num_levels=4),
+        crash_injector=injector,
+    )
+
+    # Crash on the 5th flush, after the memcpy but before swizzling: the
+    # half-baked PMTable must be discarded and re-covered from the WAL.
+    injector.arm("flush.after_copy", after_hits=5)
+
+    acked = {}
+    crashed_at = None
+    try:
+        for i in range(5000):
+            key = b"user%012d" % (i % 800)
+            store.put(key, SizedValue(i, 1024))
+            acked[key] = i
+    except SimulatedCrash as crash:
+        crashed_at = crash.point
+    print(f"simulated crash at point {crashed_at!r} after {len(acked)} keys acked")
+    print(f"WAL records pending at crash: {store.wal.record_count}")
+
+    recovered, seconds = recover(store)
+    print(f"recovered in {seconds * 1e3:.3f} ms simulated")
+    print(f"WAL records replayed: {int(system.stats.get('recover.replayed'))}")
+    print(f"background jobs dropped: {int(system.stats.get('recover.dropped_jobs'))}")
+
+    lost = 0
+    for key, tag in acked.items():
+        value, __ = recovered.get(key)
+        if value is None or value.tag < tag:
+            lost += 1
+    print(f"acknowledged writes lost: {lost} / {len(acked)}")
+    assert lost == 0, "recovery must not lose acknowledged writes"
+
+    recovered.put(b"post-recovery", b"works")
+    value, __ = recovered.get(b"post-recovery")
+    print(f"store accepts new writes after recovery: {value!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Where every byte of write amplification comes from, store by store.
+
+Writes the same dataset into MioDB, MatrixKV, and LevelDB, then breaks
+each store's persistent-device traffic down into its sources: WAL,
+MemTable flushing, and compaction rewrites.  MioDB's decomposition makes
+the paper's "theoretical upper bound is 3" concrete: one WAL write, one
+one-piece flush, one lazy copy -- and pointer updates too small to see.
+
+Run:  python examples/write_amplification_tour.py
+"""
+
+from repro.bench import format_table, make_store
+from repro.bench.config import BenchScale
+from repro.workloads import fill_random
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def main() -> None:
+    scale = BenchScale(memtable_bytes=128 * KB, dataset_bytes=24 * MB,
+                       value_size=4096, nvm_buffer_bytes=4 * MB)
+    n = scale.n_records
+    rows = []
+    for name in ("miodb", "matrixkv", "leveldb"):
+        store, system = make_store(name, scale)
+        fill_random(store, n, scale.value_size)
+        store.quiesce()
+        user = system.stats.get("user.bytes_written")
+        total = system.persistent_bytes_written()
+        wal = store.wal.appended_bytes
+        flush = system.stats.get("flush.bytes")
+        ptr = 8 * system.stats.get("compact.ptr_writes")
+        # everything else on the persistent devices is compaction rewrite
+        # (plus, for MioDB, the lazy copy into the repository)
+        other = max(0.0, total - wal - flush - ptr)
+        rows.append(
+            [
+                name,
+                user / MB,
+                total / MB,
+                total / user,
+                wal / user,
+                flush / user,
+                ptr / user,
+                other / user,
+            ]
+        )
+    print(f"fillrandom, {n} x 4 KB values, quiesced\n")
+    print(
+        format_table(
+            ["store", "user_MB", "device_MB", "WA", "wal_x", "flush_x",
+             "ptr_x", "compact_x"],
+            rows,
+        )
+    )
+    print(
+        "\nMioDB's WA decomposes into ~1x WAL + ~1x one-piece flush + <1x"
+        "\nlazy copy (deduplicated) + a negligible ptr_x from zero-copy"
+        "\ncompaction.  The baselines' compact_x term is what multi-level"
+        "\nSSTable rewriting costs them."
+    )
+
+
+if __name__ == "__main__":
+    main()

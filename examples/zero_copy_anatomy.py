@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Anatomy of a zero-copy compaction (paper Figure 5).
+
+Reconstructs the paper's worked example at the data-structure level: two
+PMTables with overlapping keys merge purely by pointer updates, with the
+insertion mark keeping every key readable mid-merge.
+
+Run:  python examples/zero_copy_anatomy.py
+"""
+
+from repro.sim.rng import XorShiftRng
+from repro.skiplist.merge import ZeroCopyMerge
+from repro.skiplist.skiplist import SkipList
+
+
+def show(label: str, table: SkipList) -> None:
+    nodes = ", ".join(f"{n.key.decode()}@{n.seq}" for n in table.nodes())
+    print(f"  {label:10s} [{nodes}]")
+
+
+def main() -> None:
+    # The paper's Figure 5: oldtable has c@1, d@4, d@3; newtable has
+    # b@6, d@7, d@5 (same key d, three generations across both tables).
+    old = SkipList(XorShiftRng(1))
+    for key, seq in [(b"c", 1), (b"d", 4), (b"d", 3)]:
+        old.insert(key, seq, b"v%d" % seq, 8)
+    new = SkipList(XorShiftRng(2))
+    for key, seq in [(b"b", 6), (b"d", 7), (b"d", 5)]:
+        new.insert(key, seq, b"v%d" % seq, 8)
+
+    print("before the merge:")
+    show("newtable", new)
+    show("oldtable", old)
+
+    merge = ZeroCopyMerge(new, old)
+    step = 0
+    while True:
+        more = merge.step()
+        step += 1
+        print(f"\nafter step {step}:")
+        show("newtable", new)
+        show("oldtable", old)
+        # mid-merge queries go newtable -> insertion mark -> oldtable
+        for key in (b"b", b"c", b"d"):
+            node, __ = merge.get(key)
+            print(f"    query {key.decode()} -> seq {node.seq}")
+        if not more:
+            break
+
+    print(f"\nmerge complete: {merge.nodes_moved} nodes moved, "
+          f"{merge.nodes_dropped} stale versions dropped,")
+    print(f"{merge.pointer_writes} pointer writes and ZERO bytes of KV data copied.")
+    print(f"garbage awaiting lazy reclamation: {old.garbage_bytes} bytes")
+
+
+if __name__ == "__main__":
+    main()

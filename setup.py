@@ -1,0 +1,9 @@
+"""Shim so `pip install -e .` works without the wheel package installed.
+
+The environment is offline; editable installs fall back to setup.py
+develop when wheel is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

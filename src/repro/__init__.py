@@ -1,0 +1,49 @@
+"""MioDB reproduction: LSM-tree KV stores for hybrid DRAM/NVM memory.
+
+Reproduces *Revisiting Log-Structured Merging for KV Stores in Hybrid
+Memory Systems* (ASPLOS 2023) as a pure-Python library: MioDB itself,
+the baselines it is evaluated against (LevelDB-style LSM, NoveLSM,
+NoveLSM-NoSST, MatrixKV), and the simulated hybrid-memory substrate they
+all run on.
+
+Quickstart::
+
+    from repro import HybridMemorySystem, MioDB
+
+    system = HybridMemorySystem()
+    db = MioDB(system)
+    db.put(b"hello", b"world")
+    value, latency = db.get(b"hello")
+"""
+
+from repro.baselines import (
+    LevelDBStore,
+    MatrixKVOptions,
+    MatrixKVStore,
+    NoveLSMNoSSTStore,
+    NoveLSMOptions,
+    NoveLSMStore,
+)
+from repro.core import MioDB, MioOptions, recover
+from repro.kvstore import KVStore, SizedValue, StoreOptions, WriteBatch
+from repro.mem import HybridMemorySystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HybridMemorySystem",
+    "KVStore",
+    "SizedValue",
+    "StoreOptions",
+    "MioDB",
+    "MioOptions",
+    "WriteBatch",
+    "recover",
+    "LevelDBStore",
+    "NoveLSMStore",
+    "NoveLSMOptions",
+    "NoveLSMNoSSTStore",
+    "MatrixKVStore",
+    "MatrixKVOptions",
+    "__version__",
+]

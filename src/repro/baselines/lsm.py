@@ -1,0 +1,335 @@
+"""Leveled SSTable engine (the LevelDB compaction machinery).
+
+One instance manages the on-media levels of a store: L0 receives whole
+flushed MemTables (tables may overlap), deeper levels hold disjoint sorted
+runs with a ``fanout``x capacity ratio.  Compactions are background jobs:
+inputs are chosen and costed when a worker is free, and the level edits
+are applied when the job's simulated end time passes.
+
+The engine is shared: LevelDB and NoveLSM use it for L0..Ln, MatrixKV for
+L1..Ln below its matrix container, and MioDB's SSD mode for the levels
+below the elastic NVM buffer.
+"""
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bloom.filter import BloomFilter
+from repro.kvstore.scans import CostCell, entry_list_stream, merged_entries
+from repro.skiplist.node import TOMBSTONE
+from repro.sstable.merge import merge_entry_streams
+from repro.sstable.table import Entry, SSTable, build_sstable, entry_frame_bytes
+
+#: L0 table count that makes L0 the most urgent compaction.
+L0_COMPACTION_TRIGGER = 4
+
+#: Bits per key for the per-SSTable bloom filters (LevelDB's default-ish).
+SSTABLE_BLOOM_BITS = 10
+
+
+class LeveledLSM:
+    """Levels of SSTables plus background compaction scheduling."""
+
+    def __init__(
+        self,
+        system,
+        options,
+        device,
+        nworkers: int = 1,
+        label: str = "lsm",
+        bottom_level_hint: Optional[int] = None,
+    ) -> None:
+        self.system = system
+        self.options = options
+        self.device = device
+        self.label = label
+        self.levels: List[List[SSTable]] = [[] for __ in range(options.num_levels)]
+        self.workers = [
+            system.executor.worker(f"{label}-compact-{i}") for i in range(nworkers)
+        ]
+        self._busy = set()
+        self._blooms = {}
+        self._listeners = []
+        self.compactions_done = 0
+        self.bottom_level = (
+            options.num_levels - 1 if bottom_level_hint is None else bottom_level_hint
+        )
+
+    # ------------------------------------------------------------- ingestion
+
+    def build_table(self, entries: Sequence[Entry], label: str = "") -> Tuple[SSTable, float]:
+        """Serialize entries into a table on this engine's device.
+
+        Returns (table, build_seconds); the caller decides which level the
+        table lands in and when (usually via a flush job callback).
+        """
+        table, seconds = build_sstable(entries, self.device, self.system.cpu, label)
+        self.system.stats.add(
+            "serialize.time_s", self.system.cpu.serialize_time(table.data_bytes)
+        )
+        bloom = BloomFilter.for_capacity(max(1, len(entries)), SSTABLE_BLOOM_BITS)
+        bloom.add_all(e[0] for e in entries)
+        seconds += self.system.cpu.bloom_build_time(len(entries))
+        self._blooms[table.table_id] = bloom
+        return table, seconds
+
+    def add_table(self, level: int, table: SSTable) -> None:
+        """Install a built table into ``level`` and re-check triggers."""
+        self._check_level(level)
+        self.levels[level].append(table)
+        if level > 0:
+            self.levels[level].sort(key=lambda t: t.min_key)
+        self.maybe_compact()
+
+    def split_entries(self, entries: Sequence[Entry]) -> List[List[Entry]]:
+        """Chunk a sorted entry run into SSTable-sized pieces.
+
+        Chunks only cut at key boundaries: splitting one key's version
+        run across two tables would let an older version land in a
+        younger table and break the read path's newest-first ordering.
+        """
+        chunks: List[List[Entry]] = []
+        current: List[Entry] = []
+        used = 0
+        for i, entry in enumerate(entries):
+            current.append(entry)
+            used += entry_frame_bytes(entry)
+            next_key = entries[i + 1][0] if i + 1 < len(entries) else None
+            if used >= self.options.sstable_bytes and next_key != entry[0]:
+                chunks.append(current)
+                current = []
+                used = 0
+        if current:
+            chunks.append(current)
+        return chunks
+
+    # ------------------------------------------------------------ compaction
+
+    def maybe_compact(self) -> None:
+        """Schedule compactions on free workers while triggers fire."""
+        for worker in self.workers:
+            if worker.busy_until > self.system.clock.now:
+                continue
+            plan = self._pick_compaction()
+            if plan is None:
+                return
+            self._schedule(worker, *plan)
+
+    def _pick_compaction(self) -> Optional[Tuple[int, List[SSTable], List[SSTable]]]:
+        best_level, best_score = None, 0.0
+        for level in range(self.bottom_level):
+            score = self._level_score(level)
+            if score >= 1.0 and score > best_score:
+                best_level, best_score = level, score
+        if best_level is None:
+            return None
+        return self._plan_for(best_level)
+
+    def _level_score(self, level: int) -> float:
+        free = [t for t in self.levels[level] if t.table_id not in self._busy]
+        if not free:
+            return 0.0
+        if level == 0:
+            return len(free) / float(L0_COMPACTION_TRIGGER)
+        total = sum(t.data_bytes for t in free)
+        return total / float(self.options.level_capacity_bytes(level))
+
+    def _plan_for(
+        self, level: int
+    ) -> Optional[Tuple[int, List[SSTable], List[SSTable]]]:
+        if level == 0:
+            inputs = [t for t in self.levels[0] if t.table_id not in self._busy]
+        else:
+            inputs = [
+                t for t in self.levels[level][:1] if t.table_id not in self._busy
+            ]
+        if not inputs:
+            return None
+        min_key = min(t.min_key for t in inputs)
+        max_key = max(t.max_key for t in inputs)
+        overlaps = [
+            t for t in self.levels[level + 1] if t.overlaps(min_key, max_key)
+        ]
+        if any(t.table_id in self._busy for t in overlaps):
+            return None
+        return level, inputs, overlaps
+
+    def _schedule(
+        self, worker, level: int, inputs: List[SSTable], overlaps: List[SSTable]
+    ) -> None:
+        all_inputs = inputs + overlaps
+        for table in all_inputs:
+            self._busy.add(table.table_id)
+
+        seconds = 0.0
+        streams = []
+        for table in all_inputs:
+            entries, cost = table.scan_all(self.system.cpu)
+            seconds += cost
+            streams.append(entries)
+        target = level + 1
+        drop_tombstones = target == self.bottom_level
+        # L0 tables overlap: order streams newest table first so, with
+        # equal keys, globally-unique seqs still decide (merge is by seq).
+        merged = list(
+            merge_entry_streams(
+                streams,
+                drop_shadowed=True,
+                drop_tombstones=drop_tombstones,
+                tombstone=TOMBSTONE,
+            )
+        )
+        outputs: List[SSTable] = []
+        for i, chunk in enumerate(self.split_entries(merged)):
+            table, cost = self.build_table(chunk, f"{self.label}-L{target}-{i}")
+            outputs.append(table)
+            seconds += cost
+        bytes_moved = sum(t.data_bytes for t in all_inputs)
+
+        def apply() -> None:
+            for table in all_inputs:
+                self._busy.discard(table.table_id)
+                self._blooms.pop(table.table_id, None)
+            self.levels[level] = [t for t in self.levels[level] if t not in inputs]
+            self.levels[target] = [t for t in self.levels[target] if t not in overlaps]
+            for table in all_inputs:
+                table.release()
+            self.levels[target].extend(outputs)
+            self.levels[target].sort(key=lambda t: t.min_key)
+            self.compactions_done += 1
+            self.system.stats.add("compact.count", 1)
+            self.system.stats.add("compact.bytes_in", bytes_moved)
+            self.maybe_compact()
+            for listener in list(self._listeners):
+                listener()
+
+        self.system.stats.add("compact.time_s", seconds)
+        self.system.executor.submit(
+            worker, seconds, apply, name=f"{self.label}-compact-L{level}"
+        )
+
+    # ----------------------------------------------------------------- reads
+
+    def get(self, key: bytes) -> Tuple[Optional[Entry], float]:
+        """Search L0 newest-first, then one candidate table per level."""
+        seconds = 0.0
+        for table in reversed(self.levels[0]):
+            entry, cost = self._probe(table, key)
+            seconds += cost
+            if entry is not None:
+                return entry, seconds
+        for level in range(1, self.options.num_levels):
+            # Runs below L0 are normally disjoint, so at most one table
+            # covers the key; probing every covering table and keeping
+            # the newest version also stays correct if runs ever overlap
+            # transiently (e.g. around external column compactions).
+            best = None
+            for table in self.levels[level]:
+                if table.min_key <= key <= table.max_key:
+                    entry, cost = self._probe(table, key)
+                    seconds += cost
+                    if entry is not None and (best is None or entry[1] > best[1]):
+                        best = entry
+            if best is not None:
+                return best, seconds
+        return None, seconds
+
+    def _probe(self, table: SSTable, key: bytes) -> Tuple[Optional[Entry], float]:
+        if not (table.min_key <= key <= table.max_key):
+            return None, 0.0
+        seconds = self.system.cpu.bloom_probe_time()
+        bloom = self._blooms.get(table.table_id)
+        if bloom is not None and not bloom.may_contain(key):
+            return None, seconds
+        entry, cost = table.get(key, self.system.cpu, self.system.stats)
+        return entry, seconds + cost
+
+    def scan_streams(self, key: bytes, cost) -> List:
+        """Lazy per-table streams for a merged scan from ``key``."""
+        streams = []
+        for level_tables in self.levels:
+            for table in level_tables:
+                if table.max_key < key:
+                    continue
+                idx = self._lower_bound(table, key)
+                streams.append(
+                    entry_list_stream(
+                        self.system, table.entries, idx, self.device, cost
+                    )
+                )
+        return streams
+
+    def scan_from(self, key: bytes, count: int) -> Tuple[List[Entry], float]:
+        """Merged range read across all levels (newest live versions)."""
+        cost = CostCell()
+        merged = merged_entries(self.scan_streams(key, cost), count)
+        return merged, cost.seconds
+
+    @staticmethod
+    def _lower_bound(table: SSTable, key: bytes) -> int:
+        import bisect
+
+        return bisect.bisect_left(table._keys, key)
+
+    # ------------------------------------------------------------- reporting
+
+    def try_reserve(self, tables: Sequence[SSTable]) -> bool:
+        """Atomically mark tables busy for an external compaction.
+
+        Returns ``False`` (reserving nothing) when any is already busy.
+        Used by MatrixKV's column compaction, which merges container
+        columns with L1 tables outside this engine's own scheduler.
+        """
+        if any(t.table_id in self._busy for t in tables):
+            return False
+        for table in tables:
+            self._busy.add(table.table_id)
+        return True
+
+    def release_reservation(self, tables: Sequence[SSTable]) -> None:
+        """Undo :meth:`try_reserve` without applying any edit."""
+        for table in tables:
+            self._busy.discard(table.table_id)
+
+    def replace_tables(
+        self, level: int, remove: Sequence[SSTable], add: Sequence[SSTable]
+    ) -> None:
+        """Apply an externally computed compaction result to ``level``."""
+        self._check_level(level)
+        removed_ids = {t.table_id for t in remove}
+        self.levels[level] = [
+            t for t in self.levels[level] if t.table_id not in removed_ids
+        ]
+        for table in remove:
+            self._busy.discard(table.table_id)
+            self._blooms.pop(table.table_id, None)
+            table.release()
+        self.levels[level].extend(add)
+        self.levels[level].sort(key=lambda t: t.min_key)
+        self.maybe_compact()
+        for listener in list(self._listeners):
+            listener()
+
+    def add_completion_listener(self, fn) -> None:
+        """Call ``fn`` after every applied compaction (flush throttling)."""
+        self._listeners.append(fn)
+
+    def l0_table_count(self) -> int:
+        """Current number of L0 tables (drives slowdown/stop stalls)."""
+        return len(self.levels[0])
+
+    def total_data_bytes(self) -> int:
+        """Bytes across all live tables."""
+        return sum(t.data_bytes for level in self.levels for t in level)
+
+    def table_counts(self) -> List[int]:
+        """Tables per level, for diagnostics."""
+        return [len(level) for level in self.levels]
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.options.num_levels:
+            raise ValueError(
+                f"level {level} out of range [0, {self.options.num_levels})"
+            )
+
+    def __repr__(self) -> str:
+        return f"LeveledLSM({self.label!r}, tables={self.table_counts()})"

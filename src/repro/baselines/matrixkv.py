@@ -1,0 +1,389 @@
+"""MatrixKV: a matrix container at L0 in NVM with column compaction.
+
+Faithful to the paper's description (Section 2.3 and Figure 1(d)):
+
+- Flushed MemTables become *rows* of a matrix container in NVM.  The
+  flush still serializes data (rows are in storage format), but it is a
+  fast sequential NVM write, so MemTable flushing rarely blocks.
+- The container is compacted to L1 one *column* (key-range slice across
+  all rows) at a time, which keeps individual compactions small and
+  removes interval stalls; sustained pressure surfaces as cumulative
+  slowdown instead (the paper measures 731 s of it).
+- Rows keep a DRAM-resident key index, so locating a key in a row is
+  cheap; reading the KV still pays NVM access plus deserialization.
+- Compaction below L1 is ordinary leveled compaction, with parallel
+  workers (the paper's Figure 9 shows MatrixKV using up to 4).
+"""
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.baselines.lsm import LeveledLSM
+from repro.bloom.filter import BloomFilter
+from repro.kvstore.api import KVStore
+from repro.kvstore.memtable import MemTable, memtable_entries
+from repro.kvstore.options import MB, StoreOptions
+from repro.kvstore.scans import CostCell, entry_list_stream, merged_scan, skiplist_stream
+from repro.persist.arena import Arena
+from repro.persist.wal import WriteAheadLog
+from repro.sim.rng import XorShiftRng
+from repro.skiplist.node import TOMBSTONE
+from repro.sstable.merge import merge_entry_streams
+from repro.sstable.table import entry_frame_bytes
+
+
+@dataclass
+class MatrixKVOptions(StoreOptions):
+    """MatrixKV's container sizing and compaction pacing knobs."""
+
+    container_bytes: int = 16 * MB
+    column_target_bytes: int = 4 * MB
+    compact_threshold: float = 0.5
+    slowdown_threshold: float = 0.7
+    stop_threshold: float = 0.95
+    compaction_workers: int = 4
+
+
+class MatrixRow:
+    """One flushed MemTable, serialized into the container."""
+
+    _ids = 0
+
+    def __init__(self, system, entries, label: str = "") -> None:
+        MatrixRow._ids += 1
+        self.row_id = MatrixRow._ids
+        self.system = system
+        self.entries = list(entries)
+        self.keys = [e[0] for e in self.entries]  # DRAM index
+        self.data_bytes = sum(entry_frame_bytes(e) for e in self.entries)
+        self.arena = Arena(
+            system.nvm, self.data_bytes, system.now, label or f"row-{self.row_id}"
+        )
+        self.bloom = BloomFilter.for_capacity(max(1, len(self.entries)), 10)
+        self.bloom.add_all(self.keys)
+
+    def get(self, key: bytes, cpu) -> Tuple[Optional[tuple], float]:
+        """Indexed point lookup; charges NVM read + deserialization."""
+        seconds = cpu.bloom_probe_time()
+        if not self.bloom.may_contain(key):
+            return None, seconds
+        idx = bisect.bisect_left(self.keys, key)
+        if idx >= len(self.entries) or self.entries[idx][0] != key:
+            return None, seconds
+        entry = self.entries[idx]
+        nbytes = entry_frame_bytes(entry)
+        deser = cpu.deserialize_time(nbytes)
+        self.system.stats.add("deserialize.time_s", deser)
+        seconds += self.system.nvm.read(nbytes, sequential=False) + deser
+        return entry, seconds
+
+    def take_range(self, low: Optional[bytes], high: Optional[bytes]) -> List[tuple]:
+        """Remove and return entries with ``low <= key <= high``.
+
+        ``None`` bounds are open; space is returned to the device.
+        """
+        lo = 0 if low is None else bisect.bisect_left(self.keys, low)
+        hi = len(self.entries) if high is None else bisect.bisect_right(self.keys, high)
+        taken = self.entries[lo:hi]
+        if not taken:
+            return []
+        self.entries = self.entries[:lo] + self.entries[hi:]
+        self.keys = self.keys[:lo] + self.keys[hi:]
+        freed = sum(entry_frame_bytes(e) for e in taken)
+        self.data_bytes -= freed
+        self.arena.shrink(freed, self.system.now)
+        return taken
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+
+class MatrixKVStore(KVStore):
+    """MatrixKV on a DRAM+NVM machine (lower levels on NVM or SSD)."""
+
+    name = "matrixkv"
+
+    def __init__(
+        self,
+        system,
+        options: Optional[MatrixKVOptions] = None,
+        media: str = "nvm",
+    ) -> None:
+        super().__init__(system, options or MatrixKVOptions())
+        self.device = system.nvm if media == "nvm" else system.ssd
+        if self.device is None:
+            raise ValueError(f"system has no {media} device")
+        self.rng = XorShiftRng(0x3A7B)
+        self.wal = WriteAheadLog(system.nvm, f"{self.name}-wal")
+        self.memtable = MemTable(system, self.options.memtable_bytes, self.rng.fork())
+        self.immutable: Optional[MemTable] = None
+        self._flush_job = None
+        self.rows: List[MatrixRow] = []
+        self.lsm = LeveledLSM(
+            system,
+            self.options,
+            self.device,
+            nworkers=self.options.compaction_workers,
+            label=self.name,
+        )
+        self.flush_worker = system.executor.worker(f"{self.name}-flush")
+        self.column_worker = system.executor.worker(f"{self.name}-column")
+        self._column_cursor: Optional[bytes] = None
+        self._column_busy = False
+        self._inflight_column = {}
+        self.column_compactions = 0
+        self.lsm.add_completion_listener(self._maybe_column_compact)
+
+    # ------------------------------------------------------------ write path
+
+    def container_bytes(self) -> int:
+        """Live bytes currently held by the matrix container."""
+        return sum(row.data_bytes for row in self.rows)
+
+    def _put(self, key: bytes, seq: int, value, value_bytes: int) -> float:
+        seconds = self._throttle()
+        if self.memtable.is_full:
+            if self._flush_job is not None and not self._flush_job.done:
+                stalled = self.system.executor.wait_for(self._flush_job)
+                self.system.stats.add("stall.interval_s", stalled)
+            self._wait_while_container_stopped()
+            self._rotate_memtable()
+        if self.options.wal_enabled:
+            seconds += self.wal.append(seq, key, value, value_bytes)
+        seconds += self.memtable.insert(key, seq, value, value_bytes)
+        return seconds
+
+    def _throttle(self) -> float:
+        """RocksDB-style delayed writes: container pressure or pending
+        flush slow the foreground instead of blocking it."""
+        fill = self.container_bytes() / float(self.options.container_bytes)
+        flush_pending = self._flush_job is not None and not self._flush_job.done
+        if fill >= self.options.slowdown_threshold or flush_pending:
+            self.system.stats.add("stall.cumulative_s", self.options.slowdown_delay_s)
+            return self.options.slowdown_delay_s
+        return 0.0
+
+    def _wait_while_container_stopped(self) -> None:
+        limit = self.options.stop_threshold * self.options.container_bytes
+        while self.container_bytes() >= limit:
+            self._maybe_column_compact()
+            deadline = self.system.executor.next_completion()
+            if deadline is None:
+                raise RuntimeError("container full with no background work pending")
+            before = self.system.clock.now
+            self.system.clock.advance_to(deadline)
+            self.system.executor.settle()
+            self.system.stats.add("stall.interval_s", self.system.clock.now - before)
+
+    def _rotate_memtable(self) -> None:
+        old = self.memtable
+        old.mark_immutable()
+        self.immutable = old
+        self.memtable = MemTable(
+            self.system, self.options.memtable_bytes, self.rng.fork()
+        )
+        self._flush_job = self._schedule_flush(old)
+
+    def _schedule_flush(self, table: MemTable):
+        entries = memtable_entries(table)
+        row = MatrixRow(self.system, entries, f"{self.name}-row")
+        seconds = self.system.dram.read(table.data_bytes, sequential=True)
+        seconds += self.system.cpu.serialize_time(row.data_bytes)
+        seconds += self.system.nvm.write(row.data_bytes, sequential=True)
+        last_seq = max((e[1] for e in entries), default=self.seq)
+
+        def apply() -> None:
+            self.rows.append(row)
+            table.release()
+            if self.immutable is table:
+                self.immutable = None
+            if self.options.wal_enabled:
+                self.wal.truncate_through(last_seq)
+            self._maybe_column_compact()
+
+        self.system.stats.add("flush.count", 1)
+        self.system.stats.add("flush.time_s", seconds)
+        self.system.stats.add("flush.bytes", table.data_bytes)
+        self.system.stats.add("serialize.time_s", self.system.cpu.serialize_time(row.data_bytes))
+        return self.system.executor.submit(
+            self.flush_worker, seconds, apply, name=f"{self.name}-flush"
+        )
+
+    # ------------------------------------------------------- column compaction
+
+    def _maybe_column_compact(self) -> None:
+        if self._column_busy:
+            return
+        threshold = self.options.compact_threshold * self.options.container_bytes
+        if self.container_bytes() < threshold:
+            return
+        if self.column_worker.busy_until > self.system.clock.now:
+            return
+        self._schedule_column_compaction()
+
+    def _pick_column(self) -> Optional[Tuple[Optional[bytes], bytes]]:
+        """Choose [low, high] so the selected slice is about one column.
+
+        Returns ``None`` when the container holds nothing to compact;
+        the cursor wraps to the start of the key space when it passes
+        the container's maximum key.
+        """
+        low = self._column_cursor
+        candidates = []
+        for row in self.rows:
+            start = 0 if low is None else bisect.bisect_left(row.keys, low)
+            candidates.extend(row.entries[start:])
+        if not candidates and low is not None:
+            low = None
+            candidates = [e for row in self.rows for e in row.entries]
+        if not candidates:
+            self._column_cursor = None
+            return None
+        candidates.sort(key=lambda e: e[0])
+        used = 0
+        high = candidates[-1][0]
+        for entry in candidates:
+            used += entry_frame_bytes(entry)
+            if used >= self.options.column_target_bytes:
+                high = entry[0]
+                break
+        return low, high
+
+    def _schedule_column_compaction(self) -> None:
+        column = self._pick_column()
+        if column is None:
+            return
+        low, high = column
+        bounds_low = low if low is not None else min(
+            (row.keys[0] for row in self.rows if row.keys), default=high
+        )
+        overlaps = [t for t in self.lsm.levels[1] if t.overlaps(bounds_low, high)]
+        if not self.lsm.try_reserve(overlaps):
+            # An L1 input is being compacted downward; retry when that
+            # compaction completes (the completion listener re-triggers
+            # us).  Compacting around a busy table would create
+            # overlapping L1 runs, which the read path must never see.
+            return
+        taken_streams = []
+        taken_bytes = 0
+        for row in self.rows:
+            taken = row.take_range(low, high)
+            if taken:
+                taken_streams.append(taken)
+                taken_bytes += sum(entry_frame_bytes(e) for e in taken)
+        self.rows = [row for row in self.rows if not row.is_empty]
+        if not taken_streams:
+            self._column_cursor = None
+            self.lsm.release_reservation(overlaps)
+            return
+        # Keep the in-flight column readable until the result is applied.
+        for stream in taken_streams:
+            for entry in stream:
+                current = self._inflight_column.get(entry[0])
+                if current is None or entry[1] > current[1]:
+                    self._inflight_column[entry[0]] = entry
+
+        seconds = self.system.nvm.read(taken_bytes, sequential=True)
+        seconds += self.system.cpu.deserialize_time(taken_bytes)
+        streams = list(taken_streams)
+        for table in overlaps:
+            entries, cost = table.scan_all(self.system.cpu)
+            seconds += cost
+            streams.append(entries)
+        drop_tombstones = all(
+            not level for level in self.lsm.levels[2:]
+        )
+        merged = list(
+            merge_entry_streams(
+                streams,
+                drop_shadowed=True,
+                drop_tombstones=drop_tombstones,
+                tombstone=TOMBSTONE,
+            )
+        )
+        outputs = []
+        for i, chunk in enumerate(self.lsm.split_entries(merged)):
+            table, cost = self.lsm.build_table(chunk, f"{self.name}-col-{i}")
+            outputs.append(table)
+            seconds += cost
+
+        self._column_busy = True
+        self._column_cursor = _next_key(high)
+
+        def apply() -> None:
+            self._column_busy = False
+            self._inflight_column.clear()
+            self.lsm.replace_tables(1, overlaps, outputs)
+            self.column_compactions += 1
+            self.system.stats.add("compact.count", 1)
+            self.system.stats.add("compact.bytes_in", taken_bytes)
+            self._maybe_column_compact()
+
+        self.system.stats.add("compact.time_s", seconds)
+        self.system.executor.submit(
+            self.column_worker, seconds, apply, name=f"{self.name}-column"
+        )
+
+    # ------------------------------------------------------------- read path
+
+    def _get(self, key: bytes) -> Tuple[Optional[object], float]:
+        seconds = 0.0
+        for table in (self.memtable, self.immutable):
+            if table is None:
+                continue
+            node, cost = table.get(key)
+            seconds += cost
+            if node is not None:
+                return (None if node.is_tombstone else node.value), seconds
+        for row in reversed(self.rows):
+            entry, cost = row.get(key, self.system.cpu)
+            seconds += cost
+            if entry is not None:
+                value = entry[2]
+                return (None if value is TOMBSTONE else value), seconds
+        inflight = self._inflight_column.get(key)
+        if inflight is not None:
+            nbytes = entry_frame_bytes(inflight)
+            seconds += self.system.nvm.read(nbytes, sequential=False)
+            seconds += self.system.cpu.deserialize_time(nbytes)
+            value = inflight[2]
+            return (None if value is TOMBSTONE else value), seconds
+        entry, cost = self.lsm.get(key)
+        seconds += cost
+        if entry is None:
+            return None, seconds
+        value = entry[2]
+        return (None if value is TOMBSTONE else value), seconds
+
+    def _scan(self, start_key: bytes, count: int):
+        cost = CostCell()
+        streams: List = []
+        for table in (self.memtable, self.immutable):
+            if table is None:
+                continue
+            streams.append(
+                skiplist_stream(self.system, table.skiplist, start_key, "dram", cost)
+            )
+        for row in self.rows:
+            idx = bisect.bisect_left(row.keys, start_key)
+            streams.append(
+                entry_list_stream(self.system, row.entries, idx, self.system.nvm, cost)
+            )
+        if self._inflight_column:
+            window = sorted(
+                (e for k, e in self._inflight_column.items() if k >= start_key),
+                key=lambda e: (e[0], -e[1]),
+            )
+            streams.append(
+                entry_list_stream(self.system, window, 0, self.system.nvm, cost)
+            )
+        streams.extend(self.lsm.scan_streams(start_key, cost))
+        pairs = merged_scan(streams, count)
+        return pairs, cost.seconds
+
+
+def _next_key(key: bytes) -> bytes:
+    """The smallest key strictly greater than ``key``."""
+    return key + b"\x00"

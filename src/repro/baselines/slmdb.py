@@ -1,0 +1,285 @@
+"""SLM-DB: single-level LSM with a persistent B+-tree index (FAST'19).
+
+The paper discusses SLM-DB as prior art (Sections 1 and 6): it keeps a
+*single* level of SSTables plus a B+-tree in NVM that maps every key to
+its table, so point reads go straight to the right table.  Its
+weaknesses, which the paper calls out and this implementation exhibits:
+
+- compaction must rewrite B+-tree index entries for every moved key, so
+  it is expensive;
+- because index order must be preserved, flushing and compaction cannot
+  run in parallel (one background worker serialises them), so write
+  bursts stall;
+- selective compaction picks candidate tables by key-range overlap,
+  and the selection itself costs time when the candidate list grows.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.btree.tree import NODE_BYTES, BPlusTree
+from repro.kvstore.api import KVStore
+from repro.kvstore.memtable import MemTable, memtable_entries
+from repro.kvstore.options import StoreOptions
+from repro.kvstore.scans import CostCell, entry_list_stream, merged_scan, skiplist_stream
+from repro.persist.arena import Arena
+from repro.persist.wal import WriteAheadLog
+from repro.sim.rng import XorShiftRng
+from repro.skiplist.node import TOMBSTONE
+from repro.sstable.merge import merge_entry_streams
+from repro.sstable.table import SSTable, build_sstable
+
+
+@dataclass
+class SLMDBOptions(StoreOptions):
+    """SLM-DB's compaction pacing knobs."""
+
+    #: start selective compaction when live tables exceed this count
+    compaction_trigger_tables: int = 8
+    #: merge at most this many tables per selective compaction
+    compaction_fanin: int = 4
+    btree_order: int = 64
+
+
+class SLMDBStore(KVStore):
+    """Single-level SSTables + NVM B+-tree index."""
+
+    name = "slmdb"
+
+    def __init__(self, system, options: Optional[SLMDBOptions] = None) -> None:
+        super().__init__(system, options or SLMDBOptions())
+        self.rng = XorShiftRng(0x51DB)
+        self.wal = WriteAheadLog(system.nvm, f"{self.name}-wal")
+        self.memtable = MemTable(system, self.options.memtable_bytes, self.rng.fork())
+        self.immutable: Optional[MemTable] = None
+        self._flush_job = None
+        self.tables: List[SSTable] = []
+        self.index = BPlusTree(self.options.btree_order)
+        self.index_arena = Arena(system.nvm, 0, system.now, f"{self.name}-index")
+        # One worker for BOTH flushing and compaction: index order must
+        # be preserved, so they cannot overlap (the paper's criticism).
+        self.worker = system.executor.worker(f"{self.name}-background")
+        self.compactions_done = 0
+
+    # ------------------------------------------------------------ write path
+
+    def _put(self, key: bytes, seq: int, value, value_bytes: int) -> float:
+        seconds = 0.0
+        if self.memtable.is_full:
+            if self._flush_job is not None and not self._flush_job.done:
+                stalled = self.system.executor.wait_for(self._flush_job)
+                self.system.stats.add("stall.interval_s", stalled)
+            self._rotate_memtable()
+        if self.options.wal_enabled:
+            seconds += self.wal.append(seq, key, value, value_bytes)
+        seconds += self.memtable.insert(key, seq, value, value_bytes)
+        return seconds
+
+    def _rotate_memtable(self) -> None:
+        old = self.memtable
+        old.mark_immutable()
+        self.immutable = old
+        self.memtable = MemTable(
+            self.system, self.options.memtable_bytes, self.rng.fork()
+        )
+        self._flush_job = self._schedule_flush(old)
+
+    def _index_cost(self, visits: int, writes: int = 0) -> float:
+        seconds = visits * self.system.cpu.hop_time("nvm")
+        if writes:
+            seconds += self.system.nvm.write(writes * 64, sequential=False)
+        return seconds
+
+    def _schedule_flush(self, table: MemTable):
+        """Serialize the MemTable into one L1 table and index every key."""
+        entries = list(
+            merge_entry_streams([memtable_entries(table)], drop_shadowed=True)
+        )
+        seconds = self.system.dram.read(table.data_bytes, sequential=True)
+        sst, build_cost = build_sstable(
+            entries, self.system.nvm, self.system.cpu, f"{self.name}-L1"
+        )
+        seconds += build_cost
+        self.system.stats.add(
+            "serialize.time_s", self.system.cpu.serialize_time(sst.data_bytes)
+        )
+        # B+-tree updates: one insert per key, each an NVM pointer chase
+        # plus an in-place node write (this is what makes SLM-DB's
+        # flush+compaction path slow).
+        nodes_before = self.index.node_count
+        for key, seq, __v, __vb in entries:
+            seconds += self._index_put(key, sst, seq)
+        self._grow_index_arena(nodes_before)
+        last_seq = max((e[1] for e in entries), default=self.seq)
+
+        def apply() -> None:
+            self.tables.append(sst)
+            table.release()
+            if self.immutable is table:
+                self.immutable = None
+            if self.options.wal_enabled:
+                self.wal.truncate_through(last_seq)
+            self._maybe_compact()
+
+        self.system.stats.add("flush.count", 1)
+        self.system.stats.add("flush.time_s", seconds)
+        self.system.stats.add("flush.bytes", table.data_bytes)
+        return self.system.executor.submit(
+            self.worker, seconds, apply, name=f"{self.name}-flush"
+        )
+
+    def _grow_index_arena(self, nodes_before: int) -> None:
+        grown = self.index.node_count - nodes_before
+        if grown > 0:
+            self.index_arena.grow(grown * NODE_BYTES, self.system.now)
+
+    def _index_put(self, key: bytes, sst: SSTable, seq: int) -> float:
+        """Point the index at (sst, seq) unless a newer locator exists.
+
+        Compactions re-index old versions; a locator installed by a more
+        recent flush must never be overwritten by them.
+        """
+        current, visits = self.index.get(key)
+        seconds = self._index_cost(visits)
+        if current is not None and current[1] > seq:
+            return seconds
+        visits, writes = self.index.insert(key, (sst, seq))
+        return seconds + self._index_cost(visits, writes)
+
+    # ------------------------------------------------------------ compaction
+
+    def _maybe_compact(self) -> None:
+        if len(self.tables) <= self.options.compaction_trigger_tables:
+            return
+        if self.worker.busy_until > self.system.clock.now:
+            return
+        self._schedule_compaction()
+
+    def _pick_candidates(self) -> List[SSTable]:
+        """Selective compaction: the tables with the most range overlap.
+
+        The scan over the candidate list is itself charged (the paper
+        notes the selection gets costly as the list grows).
+        """
+        scored = []
+        for table in self.tables:
+            overlap = sum(
+                1
+                for other in self.tables
+                if other is not table
+                and other.overlaps(table.min_key, table.max_key)
+            )
+            scored.append((overlap, table.table_id, table))
+        scored.sort(reverse=True)
+        return [t for __, __id, t in scored[: self.options.compaction_fanin]]
+
+    def _schedule_compaction(self) -> None:
+        candidates = self._pick_candidates()
+        if len(candidates) < 2:
+            return
+        seconds = len(self.tables) * self.system.cpu.compare_cost * 8  # selection
+        streams = []
+        for table in candidates:
+            entries, cost = table.scan_all(self.system.cpu)
+            seconds += cost
+            streams.append(entries)
+        newest = list(merge_entry_streams(streams, drop_shadowed=True))
+        # A tombstone may only be dropped when every older version of its
+        # key is inside this compaction; with other tables live in the
+        # single level, the tombstone must survive to keep shadowing them.
+        dropping_all = len(candidates) == len(self.tables)
+        if dropping_all:
+            merged = [e for e in newest if e[2] is not TOMBSTONE]
+        else:
+            merged = newest
+        if not merged:
+            return
+        sst, build_cost = build_sstable(
+            merged, self.system.nvm, self.system.cpu, f"{self.name}-compact"
+        )
+        seconds += build_cost
+        nodes_before = self.index.node_count
+        for key, seq, value, __vb in newest:
+            if value is TOMBSTONE:
+                # drop the index entry unless a newer flush superseded it
+                current, visits = self.index.get(key)
+                seconds += self._index_cost(visits)
+                if current is not None and current[1] <= seq:
+                    __, visits = self.index.delete(key)
+                    seconds += self._index_cost(visits, 1)
+            else:
+                seconds += self._index_put(key, sst, seq)
+        self._grow_index_arena(nodes_before)
+        candidate_ids = {t.table_id for t in candidates}
+
+        def apply() -> None:
+            self.tables = [t for t in self.tables if t.table_id not in candidate_ids]
+            self.tables.append(sst)
+            for table in candidates:
+                table.release()
+            self.compactions_done += 1
+            self.system.stats.add("compact.count", 1)
+            self._maybe_compact()
+
+        self.system.stats.add("compact.time_s", seconds)
+        self.system.executor.submit(
+            self.worker, seconds, apply, name=f"{self.name}-compact"
+        )
+
+    # ------------------------------------------------------------- read path
+
+    def _get(self, key: bytes) -> Tuple[Optional[object], float]:
+        seconds = 0.0
+        for table in (self.memtable, self.immutable):
+            if table is None:
+                continue
+            node, cost = table.get(key)
+            seconds += cost
+            if node is not None:
+                return (None if node.is_tombstone else node.value), seconds
+        locator, visits = self.index.get(key)
+        seconds += self._index_cost(visits)
+        if locator is None:
+            return None, seconds
+        sst, __seq = locator
+        if sst.released:
+            # The index was updated eagerly while a compaction job is
+            # still in flight; the data is in one of the live tables.
+            for table in reversed(self.tables):
+                if table.released or not table.min_key <= key <= table.max_key:
+                    continue
+                entry, cost = table.get(key, self.system.cpu, self.system.stats)
+                seconds += cost
+                if entry is not None:
+                    value = entry[2]
+                    return (None if value is TOMBSTONE else value), seconds
+            return None, seconds
+        entry, cost = sst.get(key, self.system.cpu, self.system.stats)
+        seconds += cost
+        if entry is None:
+            return None, seconds
+        value = entry[2]
+        return (None if value is TOMBSTONE else value), seconds
+
+    def _scan(self, start_key: bytes, count: int):
+        cost = CostCell()
+        streams = []
+        for table in (self.memtable, self.immutable):
+            if table is None:
+                continue
+            streams.append(
+                skiplist_stream(self.system, table.skiplist, start_key, "dram", cost)
+            )
+        import bisect as _bisect
+
+        for table in self.tables:
+            if table.released or table.max_key < start_key:
+                continue
+            idx = _bisect.bisect_left(table._keys, start_key)
+            streams.append(
+                entry_list_stream(
+                    self.system, table.entries, idx, self.system.nvm, cost
+                )
+            )
+        pairs = merged_scan(streams, count)
+        return pairs, cost.seconds

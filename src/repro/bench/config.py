@@ -1,0 +1,44 @@
+"""Benchmark scaling.
+
+The paper runs 80-200 GB datasets with 64 MB MemTables.  The reproduction
+keeps the governing ratios (dataset/MemTable, value/key size, buffer/
+MemTable) but shrinks absolute sizes so a full figure regenerates in
+seconds of wall time.  Set ``REPRO_BENCH_SCALE=large`` for a 4x bigger
+run when more fidelity is wanted.
+"""
+
+import os
+from dataclasses import dataclass
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+@dataclass
+class BenchScale:
+    """Sizes every benchmark derives its workload from."""
+
+    memtable_bytes: int = 1 * MB
+    dataset_bytes: int = 32 * MB
+    value_size: int = 4 * KB
+    rw_ops: int = 2000
+    nvm_buffer_bytes: int = 16 * MB  # NoveLSM/MatrixKV fixed NVM buffer
+
+    @property
+    def n_records(self) -> int:
+        """Records in the loaded dataset at the default value size."""
+        return self.dataset_bytes // self.value_size
+
+    def records_for(self, value_size: int) -> int:
+        """Records needed to keep the dataset byte size constant."""
+        return max(64, self.dataset_bytes // value_size)
+
+
+def default_scale() -> BenchScale:
+    """The scale selected by ``REPRO_BENCH_SCALE`` (small unless set)."""
+    mode = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if mode == "large":
+        return BenchScale(dataset_bytes=128 * MB, rw_ops=8000)
+    if mode == "small":
+        return BenchScale()
+    raise ValueError(f"unknown REPRO_BENCH_SCALE={mode!r} (use small|large)")

@@ -1,0 +1,97 @@
+"""Construction of comparable store instances for benchmarks.
+
+Every store gets its own fresh :class:`HybridMemorySystem` so device
+counters, stalls, and latencies are attributable to that store alone --
+the paper likewise deploys each KV store on the same server separately.
+"""
+
+from typing import Optional, Tuple
+
+from repro.baselines import (
+    LevelDBStore,
+    MatrixKVOptions,
+    MatrixKVStore,
+    NoveLSMNoSSTStore,
+    NoveLSMOptions,
+    NoveLSMStore,
+    SLMDBOptions,
+    SLMDBStore,
+)
+from repro.bench.config import BenchScale
+from repro.core import MioDB, MioOptions
+from repro.kvstore.options import StoreOptions
+from repro.mem.system import HybridMemorySystem
+
+STORE_NAMES = (
+    "miodb",
+    "matrixkv",
+    "novelsm",
+    "novelsm-hier",
+    "novelsm-nosst",
+    "leveldb",
+    "slmdb",
+)
+
+
+def make_system(ssd: bool = False) -> HybridMemorySystem:
+    """A fresh simulated machine (optionally with an SSD)."""
+    return HybridMemorySystem.with_ssd() if ssd else HybridMemorySystem()
+
+
+def make_store(
+    name: str,
+    scale: Optional[BenchScale] = None,
+    system: Optional[HybridMemorySystem] = None,
+    ssd: bool = False,
+    **overrides,
+) -> Tuple[object, HybridMemorySystem]:
+    """Build a store (and its machine) configured at benchmark scale.
+
+    ``overrides`` are applied to the store's options dataclass -- e.g.
+    ``make_store("miodb", num_levels=4)``.
+    """
+    scale = scale or BenchScale()
+    system = system or make_system(ssd=ssd)
+    common = dict(memtable_bytes=scale.memtable_bytes,
+                  sstable_bytes=scale.memtable_bytes)
+
+    if name == "miodb":
+        options = MioOptions(**common, ssd_mode=ssd)
+        _apply(options, overrides)
+        return MioDB(system, options), system
+    if name == "matrixkv":
+        options = MatrixKVOptions(
+            **common,
+            container_bytes=scale.nvm_buffer_bytes,
+            column_target_bytes=max(scale.memtable_bytes, scale.nvm_buffer_bytes // 4),
+        )
+        _apply(options, overrides)
+        return MatrixKVStore(system, options, media="ssd" if ssd else "nvm"), system
+    if name in ("novelsm", "novelsm-hier"):
+        options = NoveLSMOptions(
+            **common,
+            nvm_memtable_bytes=scale.nvm_buffer_bytes // 2,
+            mutable_nvm=name == "novelsm",
+        )
+        _apply(options, overrides)
+        return NoveLSMStore(system, options, media="ssd" if ssd else "nvm"), system
+    if name == "novelsm-nosst":
+        options = StoreOptions(**common)
+        _apply(options, overrides)
+        return NoveLSMNoSSTStore(system, options), system
+    if name == "leveldb":
+        options = StoreOptions(**common)
+        _apply(options, overrides)
+        return LevelDBStore(system, options, media="ssd" if ssd else "nvm"), system
+    if name == "slmdb":
+        options = SLMDBOptions(**common)
+        _apply(options, overrides)
+        return SLMDBStore(system, options), system
+    raise ValueError(f"unknown store {name!r}; choose from {STORE_NAMES}")
+
+
+def _apply(options, overrides: dict) -> None:
+    for key, value in overrides.items():
+        if not hasattr(options, key):
+            raise AttributeError(f"{type(options).__name__} has no option {key!r}")
+        setattr(options, key, value)

@@ -1,0 +1,94 @@
+"""Fixed-size, OR-mergeable bloom filter."""
+
+import math
+from typing import Iterable
+
+from repro.bloom.hashing import double_hashes
+
+
+class BloomFilter:
+    """A bloom filter whose size is fixed at creation so filters merge.
+
+    ``nbits`` and ``k`` must match between filters that are merged; MioDB
+    sizes every PMTable's filter identically (bits_per_key x the MemTable
+    key budget), so compaction can OR filters without rebuilding them.
+    The false-positive rate then degrades as merged tables grow -- the
+    effect that caps the useful number of levels at ~8 in Figure 9.
+    """
+
+    __slots__ = ("nbits", "k", "_bits", "added")
+
+    def __init__(self, nbits: int, k: int) -> None:
+        if nbits <= 0:
+            raise ValueError(f"nbits must be positive, got {nbits}")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.nbits = nbits
+        self.k = k
+        self._bits = 0
+        self.added = 0
+
+    @classmethod
+    def for_capacity(cls, nkeys: int, bits_per_key: int = 16) -> "BloomFilter":
+        """Size a filter for ``nkeys`` keys at ``bits_per_key`` (paper: 16)."""
+        if nkeys <= 0:
+            raise ValueError(f"nkeys must be positive, got {nkeys}")
+        nbits = max(64, nkeys * bits_per_key)
+        # Optimal k = ln(2) * bits/key, as in LevelDB's filter policy.
+        k = max(1, min(30, round(bits_per_key * 0.69)))
+        return cls(nbits, k)
+
+    def add(self, key: bytes) -> None:
+        """Insert ``key``."""
+        for pos in double_hashes(key, self.k, self.nbits):
+            self._bits |= 1 << pos
+        self.added += 1
+
+    def add_all(self, keys: Iterable[bytes]) -> None:
+        """Insert every key in ``keys``."""
+        for key in keys:
+            self.add(key)
+
+    def may_contain(self, key: bytes) -> bool:
+        """False means definitely absent; True means possibly present."""
+        for pos in double_hashes(key, self.k, self.nbits):
+            if not (self._bits >> pos) & 1:
+                return False
+        return True
+
+    def merge_from(self, other: "BloomFilter") -> None:
+        """Bitwise-OR merge (used when two PMTables are compacted)."""
+        if other.nbits != self.nbits or other.k != self.k:
+            raise ValueError(
+                "cannot merge bloom filters with different geometry: "
+                f"({self.nbits},{self.k}) vs ({other.nbits},{other.k})"
+            )
+        self._bits |= other._bits
+        self.added += other.added
+
+    @property
+    def saturation(self) -> float:
+        """Fraction of bits set (drives the false-positive estimate)."""
+        return bin(self._bits).count("1") / self.nbits
+
+    def false_positive_rate(self) -> float:
+        """Estimated FP rate from current saturation: (bits_set/m)^k."""
+        return self.saturation ** self.k
+
+    @property
+    def nbytes(self) -> int:
+        """Accounted size of the filter in simulated bytes."""
+        return self.nbits // 8
+
+    @staticmethod
+    def expected_fp_rate(nkeys: int, nbits: int, k: int) -> float:
+        """Textbook expectation: (1 - e^(-kn/m))^k."""
+        if nkeys <= 0:
+            return 0.0
+        return (1.0 - math.exp(-k * nkeys / nbits)) ** k
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(nbits={self.nbits}, k={self.k}, added={self.added}, "
+            f"fp~{self.false_positive_rate():.4f})"
+        )

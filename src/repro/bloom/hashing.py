@@ -1,0 +1,29 @@
+"""Hash functions for bloom filters.
+
+Double hashing (Kirsch & Mitzenmacher) derives k probe positions from two
+independent 64-bit hashes, matching what LevelDB-family filters do.
+"""
+
+from typing import List
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a_64(data: bytes, seed: int = 0) -> int:
+    """64-bit FNV-1a hash of ``data``, tweaked by ``seed``."""
+    h = _FNV_OFFSET ^ (seed * 0x9E3779B97F4A7C15 & _MASK64)
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def double_hashes(key: bytes, k: int, nbits: int) -> List[int]:
+    """``k`` probe positions in ``[0, nbits)`` for ``key``."""
+    if nbits <= 0:
+        raise ValueError(f"nbits must be positive, got {nbits}")
+    h1 = fnv1a_64(key, seed=1)
+    h2 = fnv1a_64(key, seed=2) | 1  # odd stride hits all positions
+    return [((h1 + i * h2) & _MASK64) % nbits for i in range(k)]

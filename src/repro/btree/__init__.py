@@ -1,0 +1,12 @@
+"""Persistent B+-tree substrate.
+
+SLM-DB (Kaiyrakhmet et al., FAST'19) -- one of the NVM KV stores the
+paper positions itself against -- keeps a B+-tree index in NVM over a
+single-level LSM.  This package provides that index: an order-N B+-tree
+with cost accounting compatible with the rest of the simulation (a node
+traversal costs one NVM pointer chase; splits charge NVM writes).
+"""
+
+from repro.btree.tree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Run workloads against any store in the library from a shell::
+
+    python -m repro dbbench --store miodb --n 8192
+    python -m repro ycsb --store all --workloads A,C --records 4096
+    python -m repro compare
+    python -m repro info
+
+Every run is deterministic (simulated time); throughput and latency
+numbers are directly comparable across stores and invocations.
+"""
+
+import argparse
+import sys
+from typing import List
+
+from repro.bench import STORE_NAMES, default_scale, format_table, make_store
+from repro.mem.profiles import DRAM_PROFILE, NVME_SSD_PROFILE, OPTANE_NVM_PROFILE
+from repro.workloads import (
+    YCSB_WORKLOADS,
+    fill_random,
+    fill_seq,
+    load_phase,
+    read_random,
+    read_seq,
+    run_workload,
+)
+
+
+def _stores_arg(value: str) -> List[str]:
+    if value == "all":
+        return list(STORE_NAMES)
+    names = [v.strip() for v in value.split(",") if v.strip()]
+    for name in names:
+        if name not in STORE_NAMES:
+            raise argparse.ArgumentTypeError(
+                f"unknown store {name!r}; choose from {STORE_NAMES} or 'all'"
+            )
+    return names
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", type=_stores_arg, default=["miodb"],
+        help="store name, comma list, or 'all'",
+    )
+    parser.add_argument("--value-size", type=int, default=4096)
+    parser.add_argument("--ssd", action="store_true",
+                        help="use the DRAM-NVM-SSD hierarchy")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def cmd_dbbench(args) -> int:
+    scale = default_scale()
+    n = args.n or scale.records_for(args.value_size)
+    rows = []
+    for name in args.store:
+        store, system = make_store(name, scale, ssd=args.ssd)
+        if args.mode in ("fillrandom", "all"):
+            w = fill_random(store, n, args.value_size, seed=args.seed)
+        else:
+            w = fill_seq(store, n, args.value_size)
+        store.quiesce()
+        reads = min(args.reads, n)
+        r = (
+            read_random(store, reads, n, seed=args.seed + 1)
+            if args.mode != "fillseq"
+            else read_seq(store, reads, n)
+        )
+        rows.append(
+            [name, w.kiops, w.latency.p999 * 1e6, r.kiops,
+             r.latency.mean * 1e6, system.write_amplification()]
+        )
+    print(format_table(
+        ["store", "write_KIOPS", "write_p999_us", "read_KIOPS",
+         "read_avg_us", "WA"], rows))
+    return 0
+
+
+def cmd_ycsb(args) -> int:
+    scale = default_scale()
+    n = args.records or scale.records_for(args.value_size)
+    workloads = [w.strip().upper() for w in args.workloads.split(",")]
+    for wl in workloads:
+        if wl not in YCSB_WORKLOADS:
+            print(f"unknown YCSB workload {wl!r}", file=sys.stderr)
+            return 2
+    rows = []
+    for name in args.store:
+        store, system = make_store(name, scale, ssd=args.ssd)
+        load = load_phase(store, n, args.value_size, seed=args.seed)
+        row = [name, load.kiops]
+        for wl in workloads:
+            result = run_workload(
+                store, YCSB_WORKLOADS[wl], args.ops, n, args.value_size,
+                seed=args.seed + 7,
+            )
+            row.append(result.kiops)
+        rows.append(row)
+    print(format_table(
+        ["store", "load_KIOPS"] + [f"{w}_KIOPS" for w in workloads], rows))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    scale = default_scale()
+    n = scale.records_for(args.value_size) // 2
+    rows = []
+    for name in args.store:
+        store, system = make_store(name, scale, ssd=args.ssd)
+        w = fill_random(store, n, args.value_size, seed=args.seed)
+        store.quiesce()
+        r = read_random(store, min(1000, n), n)
+        rows.append(
+            [name, w.kiops, r.kiops, w.latency.p999 * 1e6,
+             system.write_amplification(),
+             system.stats.get("stall.interval_s")
+             + system.stats.get("stall.cumulative_s")]
+        )
+    print(format_table(
+        ["store", "write_KIOPS", "read_KIOPS", "write_p999_us", "WA",
+         "stalls_s"], rows))
+    return 0
+
+
+def cmd_info(args) -> int:
+    print("stores:", ", ".join(STORE_NAMES))
+    rows = []
+    for profile in (DRAM_PROFILE, OPTANE_NVM_PROFILE, NVME_SSD_PROFILE):
+        rows.append(
+            [profile.name, profile.read_latency * 1e9, profile.write_latency * 1e9,
+             profile.seq_read_bw / 2**30, profile.seq_write_bw / 2**30,
+             profile.rand_write_bw / 2**30]
+        )
+    print(format_table(
+        ["device", "rd_lat_ns", "wr_lat_ns", "seq_rd_GBps", "seq_wr_GBps",
+         "rand_wr_GBps"], rows))
+    scale = default_scale()
+    print(f"\nbench scale: memtable={scale.memtable_bytes >> 10}KB "
+          f"dataset={scale.dataset_bytes >> 20}MB value={scale.value_size}B")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MioDB reproduction workload runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dbbench", help="LevelDB-style microbenchmark")
+    _add_common(p)
+    p.add_argument("--mode", choices=["fillrandom", "fillseq", "all"],
+                   default="fillrandom")
+    p.add_argument("--n", type=int, default=None, help="records to write")
+    p.add_argument("--reads", type=int, default=2000)
+    p.set_defaults(func=cmd_dbbench)
+
+    p = sub.add_parser("ycsb", help="YCSB load + workloads")
+    _add_common(p)
+    p.add_argument("--workloads", default="A,B,C")
+    p.add_argument("--records", type=int, default=None)
+    p.add_argument("--ops", type=int, default=1000)
+    p.set_defaults(func=cmd_ycsb)
+
+    p = sub.add_parser("compare", help="headline store comparison")
+    _add_common(p)
+    p.set_defaults(func=cmd_compare)
+    p.set_defaults(store=list(STORE_NAMES))
+
+    p = sub.add_parser("info", help="stores, device profiles, scaling")
+    p.set_defaults(func=cmd_info)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

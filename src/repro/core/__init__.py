@@ -1,0 +1,27 @@
+"""MioDB: the paper's contribution.
+
+A LSM-style KV store that replaces on-media SSTables with persistent skip
+lists (PMTables) and exploits NVM byte-addressability end to end:
+
+- **one-piece flushing** (Section 4.2): the whole immutable MemTable is
+  copied to NVM with a single ``memcpy``; pointers are swizzled by a
+  background thread while the DRAM copy still serves reads.
+- **elastic multi-level buffer** (Section 4.1): levels L0..L(n-1) hold
+  unlimited PMTables, so flushing is never blocked.
+- **zero-copy compaction** (Section 4.3): two PMTables merge by pointer
+  updates only -- no data movement, no write amplification.
+- **lazy-copy compaction** (Section 4.4): L(n-1) tables are copied into
+  the huge PMTable data repository; only then is garbage reclaimed.
+- **parallel compaction** (Section 4.5): one worker per level.
+- **read optimizations** (Section 4.6): deep levels plus OR-mergeable
+  bloom filters per PMTable.
+- **DRAM-NVM-SSD mode** (Section 5.4): the repository can instead be
+  leveled SSTables on an SSD, with the elastic buffer absorbing bursts.
+"""
+
+from repro.core.miodb import MioDB
+from repro.core.options import MioOptions
+from repro.core.pmtable import PMTable
+from repro.core.recovery import recover
+
+__all__ = ["MioDB", "MioOptions", "PMTable", "recover"]

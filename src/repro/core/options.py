@@ -1,0 +1,42 @@
+"""MioDB configuration."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.kvstore.options import StoreOptions
+
+
+@dataclass
+class MioOptions(StoreOptions):
+    """MioDB's knobs, including the ablation switches DESIGN.md lists.
+
+    Attributes:
+        num_levels: elastic-buffer depth (L0..L(n-1)); the repository sits
+            below as L(n).  The paper settles on 8 (Figure 9).
+        bloom_bits_per_key: per-PMTable filter budget (paper: 16).
+        bloom_capacity_tables: every PMTable's filter shares one fixed
+            geometry (so compaction can OR-merge them), sized for this
+            many MemTables' worth of keys.  Tables merged beyond it see
+            degraded filters -- the effect that caps useful depth.
+        use_blooms: disable to measure the bloom filters' contribution.
+        one_piece_flush: ablation -- ``False`` falls back to per-KV
+            flushing into a fresh PMTable (NoveLSM-style copy+insert).
+        zero_copy: ablation -- ``False`` makes buffer compactions copy
+            data (SSTable-style merge cost and write amplification).
+        parallel_compaction: ablation -- ``False`` serialises all
+            compactions on one background worker.
+        ssd_mode: store the data repository as leveled SSTables on the
+            SSD instead of a huge PMTable in NVM (Section 5.4).
+        max_nvm_buffer_bytes: optional cap on elastic-buffer NVM usage;
+            writes block when reached (used in the Figure 14 study).
+    """
+
+    num_levels: int = 8
+    bloom_bits_per_key: int = 16
+    bloom_capacity_tables: int = 16
+    use_blooms: bool = True
+    one_piece_flush: bool = True
+    zero_copy: bool = True
+    parallel_compaction: bool = True
+    ssd_mode: bool = False
+    max_nvm_buffer_bytes: Optional[int] = None

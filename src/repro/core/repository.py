@@ -1,0 +1,173 @@
+"""MioDB's data repository (the bottom level, L(n)).
+
+Two interchangeable backends:
+
+- :class:`NvmRepository` -- the paper's default: one huge persistent skip
+  list holding every unique, sorted KV pair.  Lazy-copy compaction copies
+  the newest versions out of an L(n-1) PMTable into it (Section 4.4).
+- :class:`SsdRepository` -- the DRAM-NVM-SSD mode (Section 5.4): the
+  repository is ordinary leveled SSTables on the SSD; "lazy copy" becomes
+  serialize-and-flush, and the elastic buffer absorbs the SSD's slowness.
+
+Both expose ``ingest(pmtable) -> (seconds, apply)`` where ``apply`` is the
+visibility callback the compaction manager runs at job completion
+(``None`` when the backend mutates eagerly, as the NVM skip list does).
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.baselines.lsm import LeveledLSM
+from repro.kvstore.scans import skiplist_stream
+from repro.persist.arena import Arena
+from repro.sim.rng import XorShiftRng
+from repro.skiplist.node import NODE_OVERHEAD_BYTES, TOMBSTONE
+from repro.skiplist.skiplist import SkipList
+from repro.sstable.table import entry_frame_bytes
+
+
+def newest_versions(skiplist: SkipList):
+    """Yield the newest version node of each key, in key order."""
+    last_key = None
+    for node in skiplist.nodes():
+        if node.key == last_key:
+            continue
+        last_key = node.key
+        yield node
+
+
+class NvmRepository:
+    """A huge persistent skip list in NVM."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.skiplist = SkipList(XorShiftRng(0x4E50))
+        self.arena = Arena(system.nvm, 0, system.now, "miodb-repository")
+        self.lazy_copies = 0
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes of unique live pairs stored."""
+        return self.skiplist.data_bytes
+
+    @property
+    def entry_count(self) -> int:
+        return self.skiplist.entries
+
+    def ingest(self, table) -> Tuple[float, Optional[callable]]:
+        """Lazy-copy one PMTable into the repository (eager mutation).
+
+        For each newest version: in-place update when the key exists,
+        copy+insert otherwise; tombstones delete the repository node.
+        Returns the simulated duration; visibility is immediate (the
+        PMTable stays readable above until the manager retires it, so
+        queries see duplicates, never gaps).
+        """
+        cpu = self.system.cpu
+        nvm = self.system.nvm
+        now = self.system.now
+        seconds = 0.0
+        for node in newest_versions(table.skiplist):
+            value_bytes = max(0, node.nbytes - len(node.key) - NODE_OVERHEAD_BYTES)
+            existing, hops = self.skiplist.get(node.key)
+            seconds += cpu.skiplist_search_time("nvm", max(hops, 1))
+            if node.is_tombstone:
+                if existing is not None:
+                    preds = self.skiplist.predecessors_of(existing)
+                    self.skiplist.unlink(existing, preds, to_garbage=False)
+                    seconds += nvm.write(8 * existing.height, sequential=False)
+                    self.arena.shrink(existing.nbytes, now)
+                continue
+            if existing is not None:
+                if node.seq <= existing.seq:
+                    continue
+                delta = self.skiplist.update_in_place(
+                    existing, node.seq, node.value, value_bytes
+                )
+                if delta > 0:
+                    self.arena.grow(delta, now)
+                elif delta < 0:
+                    self.arena.shrink(-delta, now)
+                seconds += nvm.write(existing.nbytes, sequential=False)
+            else:
+                new_node, ins_hops = self.skiplist.insert(
+                    node.key, node.seq, node.value, value_bytes
+                )
+                seconds += cpu.skiplist_search_time("nvm", max(ins_hops, 1))
+                seconds += nvm.write(new_node.nbytes, sequential=False)
+                self.arena.grow(new_node.nbytes, now)
+        self.lazy_copies += 1
+        return seconds, None
+
+    def get(self, key: bytes) -> Tuple[Optional[object], float]:
+        """Point lookup; returns (value_or_TOMBSTONE_or_None, seconds)."""
+        node, hops = self.skiplist.get(key)
+        seconds = self.system.cpu.skiplist_search_time("nvm", max(hops, 1))
+        if node is None:
+            return None, seconds
+        seconds += self.system.nvm.read(node.nbytes, sequential=False)
+        return node.value, seconds
+
+    def scan_streams(self, start_key: bytes, cost) -> List:
+        """Lazy streams for a merged scan (one: the huge skip list)."""
+        return [
+            skiplist_stream(self.system, self.skiplist, start_key, "nvm", cost)
+        ]
+
+
+class SsdRepository:
+    """Leveled SSTables on the SSD as the repository backend."""
+
+    def __init__(self, system, options) -> None:
+        if system.ssd is None:
+            raise ValueError("SSD mode requires a system with an SSD device")
+        self.system = system
+        self.lsm = LeveledLSM(
+            system, options, system.ssd, nworkers=1, label="miodb-ssd"
+        )
+        self.lazy_copies = 0
+
+    @property
+    def data_bytes(self) -> int:
+        return self.lsm.total_data_bytes()
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(t) for level in self.lsm.levels for t in level)
+
+    def ingest(self, table) -> Tuple[float, Optional[callable]]:
+        """Serialize a PMTable's newest versions into SSD L0 tables."""
+        entries = [
+            (
+                n.key,
+                n.seq,
+                n.value,
+                max(0, n.nbytes - len(n.key) - NODE_OVERHEAD_BYTES),
+            )
+            for n in newest_versions(table.skiplist)
+        ]
+        seconds = self.system.nvm.read(table.data_bytes, sequential=True)
+        outputs = []
+        for i, chunk in enumerate(self.lsm.split_entries(entries)):
+            sst, cost = self.lsm.build_table(chunk, f"miodb-ssd-L0-{i}")
+            outputs.append(sst)
+            seconds += cost
+        self.system.stats.add(
+            "serialize.time_s",
+            self.system.cpu.serialize_time(sum(entry_frame_bytes(e) for e in entries)),
+        )
+
+        def apply() -> None:
+            for sst in outputs:
+                self.lsm.add_table(0, sst)
+
+        self.lazy_copies += 1
+        return seconds, apply
+
+    def get(self, key: bytes) -> Tuple[Optional[object], float]:
+        entry, seconds = self.lsm.get(key)
+        if entry is None:
+            return None, seconds
+        return entry[2], seconds
+
+    def scan_streams(self, start_key: bytes, cost) -> list:
+        return self.lsm.scan_streams(start_key, cost)

@@ -1,0 +1,14 @@
+"""Common KV store interface shared by MioDB and all baselines.
+
+Every store exposes ``put``/``get``/``delete``/``scan`` against a
+:class:`~repro.mem.HybridMemorySystem`; operations advance the simulated
+clock by their modelled cost and record their latency, so workloads can be
+replayed identically across stores and compared on simulated time.
+"""
+
+from repro.kvstore.api import KVStore
+from repro.kvstore.batch import WriteBatch
+from repro.kvstore.options import StoreOptions
+from repro.kvstore.values import SizedValue, value_nbytes
+
+__all__ = ["KVStore", "StoreOptions", "SizedValue", "WriteBatch", "value_nbytes"]

@@ -1,0 +1,146 @@
+"""The abstract KV store every engine implements."""
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple
+
+from repro.kvstore.values import value_nbytes
+from repro.skiplist.node import TOMBSTONE
+
+
+class KVStore(ABC):
+    """Base class wiring operations to the simulated machine.
+
+    Subclasses implement ``_put``/``_get``/``_scan`` returning the
+    simulated duration of the operation; this base advances the clock,
+    settles background work, records latency, and accounts user bytes.
+    """
+
+    #: Short engine name used in benchmark tables ("miodb", "matrixkv", ...).
+    name = "abstract"
+
+    def __init__(self, system, options) -> None:
+        self.system = system
+        self.options = options
+        self.seq = 0
+
+    # ------------------------------------------------------------ public API
+
+    def put(self, key: bytes, value) -> float:
+        """Insert or update ``key``; returns the operation latency.
+
+        The latency includes any write stall the operation suffered
+        (engines advance the clock directly while blocked on background
+        flushes or compactions).
+        """
+        self._require_key(key)
+        nbytes = value_nbytes(value)
+        self.system.executor.settle()
+        start = self.system.clock.now
+        self.seq += 1
+        seconds = self._put(key, self.seq, value, nbytes)
+        self.system.stats.add("user.bytes_written", len(key) + nbytes)
+        self.system.stats.add("op.put", 1)
+        return self._finish("put", start, seconds)
+
+    def delete(self, key: bytes) -> float:
+        """Delete ``key`` by writing a tombstone; returns the latency."""
+        self._require_key(key)
+        self.system.executor.settle()
+        start = self.system.clock.now
+        self.seq += 1
+        seconds = self._put(key, self.seq, TOMBSTONE, 0)
+        self.system.stats.add("user.bytes_written", len(key))
+        self.system.stats.add("op.delete", 1)
+        return self._finish("delete", start, seconds)
+
+    def get(self, key: bytes) -> Tuple[Optional[object], float]:
+        """Look up ``key``; returns ``(value_or_None, latency)``."""
+        self._require_key(key)
+        self.system.executor.settle()
+        start = self.system.clock.now
+        value, seconds = self._get(key)
+        self.system.stats.add("op.get", 1)
+        latency = self._finish("get", start, seconds)
+        return value, latency
+
+    def scan(self, start_key: bytes, count: int) -> Tuple[List[Tuple[bytes, object]], float]:
+        """Range query: up to ``count`` live pairs from ``start_key`` on."""
+        self._require_key(start_key)
+        if count < 0:
+            raise ValueError(f"scan count must be >= 0, got {count}")
+        self.system.executor.settle()
+        start = self.system.clock.now
+        pairs, seconds = self._scan(start_key, count)
+        self.system.stats.add("op.scan", 1)
+        latency = self._finish("scan", start, seconds)
+        return pairs, latency
+
+    def items(self, start_key: bytes = b"\x00", end_key: Optional[bytes] = None,
+              page_size: int = 128):
+        """Iterate live ``(key, value)`` pairs in key order.
+
+        Yields from ``start_key`` (inclusive) to ``end_key`` (exclusive,
+        unbounded when ``None``), fetching ``page_size`` pairs per
+        underlying scan.  Each page is one simulated scan operation.
+        """
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        cursor = start_key
+        while True:
+            pairs, __ = self.scan(cursor, page_size)
+            for key, value in pairs:
+                if end_key is not None and key >= end_key:
+                    return
+                yield key, value
+            if len(pairs) < page_size:
+                return
+            cursor = pairs[-1][0] + b"\x00"
+
+    def write(self, batch) -> float:
+        """Apply a :class:`~repro.kvstore.batch.WriteBatch`.
+
+        The base implementation applies the operations sequentially;
+        engines with batch-aware logging (MioDB) override it to make the
+        batch atomic under crashes.  Returns the total latency.
+        """
+        total = 0.0
+        for op, key, value in batch.ops:
+            if op == "put":
+                total += self.put(key, value)
+            else:
+                total += self.delete(key)
+        return total
+
+    def quiesce(self) -> float:
+        """Wait for all background flushing/compaction to finish."""
+        return self.system.drain_background()
+
+    # --------------------------------------------------------- engine hooks
+
+    @abstractmethod
+    def _put(self, key: bytes, seq: int, value, value_bytes: int) -> float:
+        """Apply one versioned write; return its simulated duration."""
+
+    @abstractmethod
+    def _get(self, key: bytes) -> Tuple[Optional[object], float]:
+        """Point lookup; return ``(value_or_None, duration)``."""
+
+    @abstractmethod
+    def _scan(self, start_key: bytes, count: int):
+        """Range scan; return ``(pairs, duration)``."""
+
+    # -------------------------------------------------------------- plumbing
+
+    def _finish(self, kind: str, start: float, seconds: float) -> float:
+        self.system.clock.advance(seconds)
+        latency = self.system.clock.now - start
+        self.system.latency.record(kind, self.system.clock.now, latency)
+        return latency
+
+    @staticmethod
+    def _require_key(key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
+            raise ValueError(f"keys must be non-empty bytes, got {key!r}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(seq={self.seq})"

@@ -1,0 +1,42 @@
+"""Write batches: a group of puts/deletes applied together.
+
+Engines with batch-aware logging (MioDB) persist the whole batch under
+one commit marker, so a crash mid-batch rolls the entire batch back --
+the all-or-nothing contract LevelDB's ``WriteBatch`` provides.
+"""
+
+from typing import List, Tuple
+
+from repro.kvstore.values import value_nbytes
+
+
+class WriteBatch:
+    """An ordered collection of put/delete operations."""
+
+    def __init__(self) -> None:
+        self.ops: List[Tuple[str, bytes, object]] = []
+
+    def put(self, key: bytes, value) -> "WriteBatch":
+        """Queue an insert/update; returns self for chaining."""
+        if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
+            raise ValueError(f"keys must be non-empty bytes, got {key!r}")
+        value_nbytes(value)  # validate eagerly
+        self.ops.append(("put", bytes(key), value))
+        return self
+
+    def delete(self, key: bytes) -> "WriteBatch":
+        """Queue a delete; returns self for chaining."""
+        if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
+            raise ValueError(f"keys must be non-empty bytes, got {key!r}")
+        self.ops.append(("delete", bytes(key), None))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.ops
+
+    def __repr__(self) -> str:
+        return f"WriteBatch({len(self.ops)} ops)"

@@ -1,0 +1,95 @@
+"""Lazy merged range scans shared by every store.
+
+Fixed-size per-source windows under-collect when tombstones or duplicate
+versions shadow entries, so scans are built from *lazy* per-source
+streams merged globally: each source advances only as far as the merge
+needs, and the simulated cost of every advance accumulates in a shared
+:class:`CostCell`.
+"""
+
+import heapq
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.skiplist.node import TOMBSTONE
+
+#: Stream items are ``(key, seq, value, nbytes)``.
+StreamItem = Tuple[bytes, int, object, int]
+
+
+class CostCell:
+    """Mutable accumulator for the simulated seconds a scan consumed."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+
+def skiplist_stream(
+    system, skiplist, start_key: bytes, placement: str, cost: CostCell
+) -> Iterator[StreamItem]:
+    """Lazily walk a skip list from ``start_key``, charging hops + reads."""
+    node, hops = skiplist.first_ge(start_key)
+    cost.seconds += system.cpu.skiplist_search_time(placement, max(hops, 1))
+    device = system.dram if placement == "dram" else system.nvm
+    hop_cost = system.cpu.hop_time(placement)
+    while node is not None:
+        cost.seconds += hop_cost
+        cost.seconds += device.read(node.nbytes, sequential=True)
+        yield (node.key, node.seq, node.value, node.nbytes)
+        node = node.next[0]
+
+
+def entry_list_stream(
+    system,
+    entries: List[tuple],
+    start_index: int,
+    device,
+    cost: CostCell,
+    deserialize: bool = True,
+) -> Iterator[StreamItem]:
+    """Lazily read a sorted serialized run (SSTable / matrix row)."""
+    from repro.sstable.table import entry_frame_bytes
+
+    for entry in entries[start_index:]:
+        nbytes = entry_frame_bytes(entry)
+        cost.seconds += device.read(nbytes, sequential=True)
+        if deserialize:
+            cost.seconds += system.cpu.deserialize_time(nbytes)
+        yield entry
+
+
+def merged_entries(
+    streams: Iterable[Iterator[StreamItem]], count: int
+) -> List[StreamItem]:
+    """Newest live version per key across streams, up to ``count`` keys.
+
+    Tombstones shadow older versions and produce no output entry.
+    """
+
+    def keyed(stream):
+        for item in stream:
+            yield (item[0], -item[1]), item
+
+    if count <= 0:
+        return []
+    out: List[StreamItem] = []
+    last_key = None
+    for __order, item in heapq.merge(*[keyed(s) for s in streams]):
+        key, __seq, value, __nbytes = item
+        if key == last_key:
+            continue
+        last_key = key
+        if value is TOMBSTONE:
+            continue
+        out.append(item)
+        if len(out) >= count:
+            break
+    return out
+
+
+def merged_scan(
+    streams: Iterable[Iterator[StreamItem]], count: int
+) -> List[Tuple[bytes, object]]:
+    """Like :func:`merged_entries` but returning ``(key, value)`` pairs."""
+    return [(key, value) for key, __, value, __n in merged_entries(streams, count)]

@@ -1,0 +1,154 @@
+"""Device model: latency + bandwidth cost, byte accounting, space usage."""
+
+from typing import Optional
+
+
+class DeviceProfile:
+    """Performance characteristics of one memory/storage device.
+
+    Latencies are per-operation setup costs in seconds; bandwidths are in
+    bytes per second.  Sequential and random accesses are distinguished
+    because the DRAM/NVM gap the paper leans on is largest for random
+    writes (about 7x).
+    """
+
+    __slots__ = (
+        "name",
+        "read_latency",
+        "write_latency",
+        "seq_read_bw",
+        "seq_write_bw",
+        "rand_read_bw",
+        "rand_write_bw",
+        "persistent",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        read_latency: float,
+        write_latency: float,
+        seq_read_bw: float,
+        seq_write_bw: float,
+        rand_read_bw: float,
+        rand_write_bw: float,
+        persistent: bool,
+    ) -> None:
+        self.name = name
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self.seq_read_bw = seq_read_bw
+        self.seq_write_bw = seq_write_bw
+        self.rand_read_bw = rand_read_bw
+        self.rand_write_bw = rand_write_bw
+        self.persistent = persistent
+
+    def read_time(self, nbytes: int, sequential: bool) -> float:
+        """Seconds to read ``nbytes`` in one operation."""
+        bw = self.seq_read_bw if sequential else self.rand_read_bw
+        return self.read_latency + nbytes / bw
+
+    def write_time(self, nbytes: int, sequential: bool) -> float:
+        """Seconds to write ``nbytes`` in one operation."""
+        bw = self.seq_write_bw if sequential else self.rand_write_bw
+        return self.write_latency + nbytes / bw
+
+    def __repr__(self) -> str:
+        return f"DeviceProfile({self.name!r})"
+
+
+class Device:
+    """One simulated device: charges time and counts traffic and usage."""
+
+    def __init__(self, profile: DeviceProfile, capacity: Optional[int] = None) -> None:
+        self.profile = profile
+        self.capacity = capacity
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_ops = 0
+        self.write_ops = 0
+        self.bytes_in_use = 0
+        self.peak_bytes_in_use = 0
+        # Time-weighted usage integral, for average-usage reporting.
+        self._usage_area = 0.0
+        self._usage_last_t = 0.0
+
+    @property
+    def name(self) -> str:
+        """The profile name, e.g. ``"dram"``, ``"nvm"``, ``"ssd"``."""
+        return self.profile.name
+
+    # ------------------------------------------------------------------ I/O
+
+    def read(self, nbytes: int, sequential: bool = True) -> float:
+        """Account a read and return its simulated duration in seconds."""
+        if nbytes < 0:
+            raise ValueError(f"negative read size: {nbytes}")
+        self.bytes_read += nbytes
+        self.read_ops += 1
+        return self.profile.read_time(nbytes, sequential)
+
+    def write(self, nbytes: int, sequential: bool = True) -> float:
+        """Account a write and return its simulated duration in seconds."""
+        if nbytes < 0:
+            raise ValueError(f"negative write size: {nbytes}")
+        self.bytes_written += nbytes
+        self.write_ops += 1
+        return self.profile.write_time(nbytes, sequential)
+
+    def pointer_write(self) -> float:
+        """An 8-byte random (in-place) write -- one pointer update.
+
+        Zero-copy compaction's entire device traffic is made of these.
+        """
+        return self.write(8, sequential=False)
+
+    # ---------------------------------------------------------------- space
+
+    def allocate(self, nbytes: int, now: float = 0.0) -> None:
+        """Account ``nbytes`` of live space on this device."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        self._integrate_usage(now)
+        self.bytes_in_use += nbytes
+        if self.capacity is not None and self.bytes_in_use > self.capacity:
+            raise MemoryError(
+                f"device {self.name} over capacity: "
+                f"{self.bytes_in_use} > {self.capacity}"
+            )
+        if self.bytes_in_use > self.peak_bytes_in_use:
+            self.peak_bytes_in_use = self.bytes_in_use
+
+    def release(self, nbytes: int, now: float = 0.0) -> None:
+        """Return ``nbytes`` of live space to the device."""
+        if nbytes < 0:
+            raise ValueError(f"negative release: {nbytes}")
+        self._integrate_usage(now)
+        self.bytes_in_use -= nbytes
+        if self.bytes_in_use < 0:
+            raise ValueError(f"device {self.name} released more than allocated")
+
+    def _integrate_usage(self, now: float) -> None:
+        if now > self._usage_last_t:
+            self._usage_area += self.bytes_in_use * (now - self._usage_last_t)
+            self._usage_last_t = now
+
+    def average_usage(self, now: float) -> float:
+        """Time-weighted average of live bytes from t=0 to ``now``."""
+        self._integrate_usage(now)
+        if self._usage_last_t <= 0:
+            return float(self.bytes_in_use)
+        return self._usage_area / self._usage_last_t
+
+    def reset_counters(self) -> None:
+        """Zero the traffic counters (space usage is left intact)."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_ops = 0
+        self.write_ops = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Device({self.name!r}, written={self.bytes_written}, "
+            f"read={self.bytes_read}, in_use={self.bytes_in_use})"
+        )

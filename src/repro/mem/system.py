@@ -1,0 +1,79 @@
+"""The simulated machine: devices + clock + executor + cost model + stats."""
+
+from typing import Dict, Optional
+
+from repro.mem.costs import CpuCostModel
+from repro.mem.device import Device, DeviceProfile
+from repro.mem.profiles import DRAM_PROFILE, NVME_SSD_PROFILE, OPTANE_NVM_PROFILE
+from repro.sim.clock import SimClock
+from repro.sim.executor import Executor
+from repro.sim.latency import LatencyRecorder
+from repro.sim.stats import StatsRegistry
+
+
+class HybridMemorySystem:
+    """A DRAM/NVM(/SSD) machine that KV stores are instantiated on.
+
+    One system corresponds to one experiment run: it owns the simulated
+    clock, the background executor, the devices with their traffic
+    counters, a latency recorder, and a stats registry.
+    """
+
+    def __init__(
+        self,
+        dram_profile: DeviceProfile = DRAM_PROFILE,
+        nvm_profile: DeviceProfile = OPTANE_NVM_PROFILE,
+        ssd_profile: Optional[DeviceProfile] = None,
+        dram_capacity: Optional[int] = None,
+        nvm_capacity: Optional[int] = None,
+        ssd_capacity: Optional[int] = None,
+        cpu: Optional[CpuCostModel] = None,
+    ) -> None:
+        self.clock = SimClock()
+        self.executor = Executor(self.clock)
+        self.dram = Device(dram_profile, dram_capacity)
+        self.nvm = Device(nvm_profile, nvm_capacity)
+        self.ssd = Device(ssd_profile, ssd_capacity) if ssd_profile else None
+        self.cpu = cpu or CpuCostModel()
+        self.stats = StatsRegistry()
+        self.latency = LatencyRecorder()
+
+    @classmethod
+    def with_ssd(cls, **kwargs) -> "HybridMemorySystem":
+        """A DRAM-NVM-SSD machine (the paper's Section 5.4 hierarchy)."""
+        kwargs.setdefault("ssd_profile", NVME_SSD_PROFILE)
+        return cls(**kwargs)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    def persistent_devices(self):
+        """Devices whose writes count toward write amplification."""
+        devices = [self.nvm]
+        if self.ssd is not None:
+            devices.append(self.ssd)
+        return devices
+
+    def persistent_bytes_written(self) -> int:
+        """Total bytes written to persistent media so far."""
+        return sum(dev.bytes_written for dev in self.persistent_devices())
+
+    def write_amplification(self) -> float:
+        """Persistent traffic divided by logical user writes (Figure 11)."""
+        user = self.stats.get("user.bytes_written")
+        if user <= 0:
+            return 0.0
+        return self.persistent_bytes_written() / user
+
+    def device_usage(self) -> Dict[str, int]:
+        """Live bytes per device, for NVM-consumption reporting."""
+        usage = {"dram": self.dram.bytes_in_use, "nvm": self.nvm.bytes_in_use}
+        if self.ssd is not None:
+            usage["ssd"] = self.ssd.bytes_in_use
+        return usage
+
+    def drain_background(self) -> float:
+        """Let all pending flushes/compactions finish; returns final time."""
+        return self.executor.drain()

@@ -1,0 +1,20 @@
+"""Persistence substrate: write-ahead logging, arenas, crash injection.
+
+Persistence is modelled in-process: objects held by persistent structures
+(WAL records, PMTable arenas, merge state) survive a *simulated* crash,
+while volatile state (DRAM MemTables) is discarded by the store's recovery
+path.  Crash points are injected cooperatively via :class:`CrashInjector`
+so tests can stop a store mid-flush or mid-compaction deterministically.
+"""
+
+from repro.persist.arena import Arena
+from repro.persist.crash import CrashInjector, SimulatedCrash
+from repro.persist.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "Arena",
+    "CrashInjector",
+    "SimulatedCrash",
+    "WalRecord",
+    "WriteAheadLog",
+]

@@ -1,0 +1,59 @@
+"""Cooperative crash injection for failure-recovery testing."""
+
+from typing import Dict, List, Optional
+
+
+class SimulatedCrash(Exception):
+    """Raised at an armed crash point; tests catch it and run recovery."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at {point!r}")
+        self.point = point
+
+
+class CrashInjector:
+    """Arms named crash points with hit-count triggers.
+
+    Store code calls :meth:`reach` at interesting instants (for example
+    ``"flush.after_copy"``, ``"zero_copy.mid_merge"``).  Nothing happens
+    unless a test armed that point; when armed, the Nth hit raises
+    :class:`SimulatedCrash`.
+    """
+
+    def __init__(self) -> None:
+        self._armed: Dict[str, int] = {}
+        self._hits: Dict[str, int] = {}
+        self.log: List[str] = []
+
+    def arm(self, point: str, after_hits: int = 1) -> None:
+        """Crash on the ``after_hits``-th time ``point`` is reached."""
+        if after_hits < 1:
+            raise ValueError(f"after_hits must be >= 1, got {after_hits}")
+        self._armed[point] = after_hits
+
+    def disarm(self, point: Optional[str] = None) -> None:
+        """Disarm one point (or all points when ``point`` is ``None``)."""
+        if point is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(point, None)
+
+    def reach(self, point: str) -> None:
+        """Record reaching ``point``; raise if its trigger fires."""
+        self._hits[point] = self._hits.get(point, 0) + 1
+        self.log.append(point)
+        threshold = self._armed.get(point)
+        if threshold is not None and self._hits[point] >= threshold:
+            # Single-shot: a crash point fires once, then disarms, so the
+            # recovery path does not immediately re-crash.
+            del self._armed[point]
+            raise SimulatedCrash(point)
+
+    def hits(self, point: str) -> int:
+        """How many times ``point`` has been reached."""
+        return self._hits.get(point, 0)
+
+
+#: A default injector with nothing armed, shared by stores that were not
+#: given one explicitly (reaching points on it is a cheap no-op).
+PASSIVE_INJECTOR = CrashInjector()

@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+All KV stores in this reproduction run against a simulated clock instead of
+wall time.  Background work (MemTable flushing, compaction) is modelled as
+jobs with computed durations executing on simulated workers; foreground
+operations advance the clock and *stall* exactly where the real system
+would (for example when the MemTable is full while the immutable MemTable
+is still being flushed).
+
+Public surface:
+
+- :class:`SimClock` -- the simulated clock (seconds as ``float``).
+- :class:`Executor` / :class:`Worker` / :class:`Job` -- background jobs.
+- :class:`LatencyRecorder` -- per-operation latency percentiles and series.
+- :class:`StatsRegistry` -- named counters and accumulated durations.
+- :class:`XorShiftRng` -- deterministic pseudo random number generator.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.executor import Executor, Job, Worker
+from repro.sim.latency import LatencyRecorder, LatencySummary
+from repro.sim.rng import XorShiftRng
+from repro.sim.stats import StatsRegistry
+
+__all__ = [
+    "SimClock",
+    "Executor",
+    "Job",
+    "Worker",
+    "LatencyRecorder",
+    "LatencySummary",
+    "StatsRegistry",
+    "XorShiftRng",
+]

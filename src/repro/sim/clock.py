@@ -1,0 +1,43 @@
+"""Simulated clock.
+
+The clock only moves forward.  Foreground operations advance it by the
+simulated duration of the work they perform; stalls advance it to the
+completion time of the background job being waited on.
+"""
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` and return the new time.
+
+        Negative durations are rejected: simulated work cannot take
+        negative time, and silently clamping would hide cost-model bugs.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, deadline: float) -> float:
+        """Move the clock to ``deadline`` if it lies in the future.
+
+        Advancing to a past instant is a no-op (the clock never rewinds),
+        which is the natural semantics for "wait until job X is done":
+        if it already finished, there is nothing to wait for.
+        """
+        if deadline > self._now:
+            self._now = deadline
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.9f})"

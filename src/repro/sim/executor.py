@@ -1,0 +1,188 @@
+"""Background workers and jobs for the discrete-event simulation.
+
+A :class:`Worker` models one background thread (for example, one compaction
+thread per LSM level in MioDB's parallel compaction).  Jobs submitted to the
+same worker serialize; jobs on different workers overlap in simulated time.
+
+A job's *effect* (its completion callback) is applied when the simulation is
+"settled" up to a given instant, so foreground code observes exactly the
+background work that would have finished by then.  Callbacks may submit
+further jobs (compaction cascades); the settle loop keeps draining until no
+job completes at or before the settle horizon.
+"""
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+
+class Job:
+    """A unit of background work with a fixed simulated duration."""
+
+    __slots__ = ("name", "worker", "start", "end", "_callback", "done", "cancelled")
+
+    def __init__(
+        self,
+        name: str,
+        worker: "Worker",
+        start: float,
+        end: float,
+        callback: Optional[Callable[[], None]],
+    ) -> None:
+        self.name = name
+        self.worker = worker
+        self.start = start
+        self.end = end
+        self._callback = callback
+        self.done = False
+        self.cancelled = False
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the job occupies its worker."""
+        return self.end - self.start
+
+    def _complete(self) -> None:
+        if self.done or self.cancelled:
+            return
+        self.done = True
+        if self._callback is not None:
+            self._callback()
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else ("cancelled" if self.cancelled else "pending")
+        return f"Job({self.name!r}, [{self.start:.6f}, {self.end:.6f}], {state})"
+
+
+class Worker:
+    """A simulated background thread; jobs on one worker run back to back."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy_until = 0.0
+        self.total_busy = 0.0
+        self.jobs_run = 0
+
+    def __repr__(self) -> str:
+        return f"Worker({self.name!r}, busy_until={self.busy_until:.6f})"
+
+
+class Executor:
+    """Schedules jobs on workers and applies their effects in time order."""
+
+    def __init__(self, clock) -> None:
+        self.clock = clock
+        self._heap: List = []
+        self._tiebreak = itertools.count()
+        self._workers = {}
+
+    def worker(self, name: str) -> Worker:
+        """Return the named worker, creating it on first use."""
+        existing = self._workers.get(name)
+        if existing is None:
+            existing = Worker(name)
+            self._workers[name] = existing
+        return existing
+
+    @property
+    def workers(self) -> List[Worker]:
+        """All workers created so far, in creation order."""
+        return list(self._workers.values())
+
+    def submit(
+        self,
+        worker: Worker,
+        duration: float,
+        callback: Optional[Callable[[], None]] = None,
+        name: str = "job",
+        not_before: Optional[float] = None,
+    ) -> Job:
+        """Queue ``duration`` seconds of work on ``worker``.
+
+        The job starts when the worker is free (but never before the
+        current simulated time, nor before ``not_before`` when given) and
+        its callback fires when the simulation settles past its end time.
+        """
+        if duration < 0:
+            raise ValueError(f"job duration must be >= 0, got {duration}")
+        start = max(worker.busy_until, self.clock.now)
+        if not_before is not None and not_before > start:
+            start = not_before
+        end = start + duration
+        worker.busy_until = end
+        worker.total_busy += duration
+        worker.jobs_run += 1
+        job = Job(name, worker, start, end, callback)
+        heapq.heappush(self._heap, (end, next(self._tiebreak), job))
+        return job
+
+    def settle(self, until: Optional[float] = None) -> int:
+        """Apply effects of every job ending at or before ``until``.
+
+        Defaults to the current clock time.  Returns the number of job
+        callbacks applied.  Callbacks may submit new jobs; those are
+        drained too if they also finish within the horizon.
+        """
+        horizon = self.clock.now if until is None else until
+        applied = 0
+        while self._heap and self._heap[0][0] <= horizon:
+            __, __, job = heapq.heappop(self._heap)
+            if job.cancelled:
+                continue
+            job._complete()
+            applied += 1
+        return applied
+
+    def wait_for(self, job: Job) -> float:
+        """Advance the clock to the job's completion and settle.
+
+        This models a foreground stall: the caller blocks until the
+        background job finishes.  Returns the stall duration (zero when
+        the job had already completed).
+        """
+        before = self.clock.now
+        self.clock.advance_to(job.end)
+        self.settle()
+        return self.clock.now - before
+
+    def drain(self) -> float:
+        """Run the simulation until no background work remains.
+
+        Returns the simulated time at which the last job finished (or the
+        current time when there was nothing pending).  Used at the end of
+        workloads to let compactions quiesce before measuring state.
+        """
+        while self._heap:
+            end = self._heap[0][0]
+            self.clock.advance_to(end)
+            self.settle()
+        return self.clock.now
+
+    def crash_reset(self) -> int:
+        """Drop all pending jobs and free the workers (simulated reboot).
+
+        Pending callbacks belong to the crashed process; recovery code
+        rebuilds state from persistent structures instead.  Returns the
+        number of jobs cancelled.
+        """
+        cancelled = 0
+        for __, __, job in self._heap:
+            if not job.done and not job.cancelled:
+                job.cancelled = True
+                cancelled += 1
+        self._heap.clear()
+        for worker in self._workers.values():
+            worker.busy_until = self.clock.now
+        return cancelled
+
+    @property
+    def pending(self) -> int:
+        """Number of jobs whose effects have not yet been applied."""
+        return sum(1 for __, __, job in self._heap if not job.cancelled)
+
+    def next_completion(self) -> Optional[float]:
+        """End time of the earliest pending job, or ``None`` when idle."""
+        for end, __, job in sorted(self._heap):
+            if not job.cancelled:
+                return end
+        return None

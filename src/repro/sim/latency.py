@@ -1,0 +1,140 @@
+"""Per-operation latency recording and summarisation.
+
+Reproduces the paper's latency metrics: average, 90th, 99th, and 99.9th
+percentile latencies (Tables 2 and 3) and latency-over-time series
+(Figure 8).
+"""
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class LatencySummary:
+    """Summary statistics over a set of latency samples, in seconds."""
+
+    __slots__ = ("count", "mean", "p50", "p90", "p99", "p999", "max")
+
+    def __init__(
+        self,
+        count: int,
+        mean: float,
+        p50: float,
+        p90: float,
+        p99: float,
+        p999: float,
+        max_: float,
+    ) -> None:
+        self.count = count
+        self.mean = mean
+        self.p50 = p50
+        self.p90 = p90
+        self.p99 = p99
+        self.p999 = p999
+        self.max = max_
+
+    def as_micros(self) -> Dict[str, float]:
+        """The summary converted to microseconds (the paper's unit)."""
+        return {
+            "avg": self.mean * 1e6,
+            "p50": self.p50 * 1e6,
+            "p90": self.p90 * 1e6,
+            "p99": self.p99 * 1e6,
+            "p99.9": self.p999 * 1e6,
+            "max": self.max * 1e6,
+        }
+
+    def __repr__(self) -> str:
+        us = self.as_micros()
+        return (
+            f"LatencySummary(n={self.count}, avg={us['avg']:.1f}us, "
+            f"p90={us['p90']:.1f}us, p99={us['p99']:.1f}us, "
+            f"p99.9={us['p99.9']:.1f}us)"
+        )
+
+
+def percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted samples, ``q`` in [0, 100]."""
+    if not sorted_samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_samples)))
+    return sorted_samples[rank - 1]
+
+
+class LatencyRecorder:
+    """Collects (timestamp, latency) samples grouped by operation kind."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[Tuple[float, float]]] = {}
+
+    def record(self, kind: str, at_time: float, latency: float) -> None:
+        """Record one operation of ``kind`` finishing at ``at_time``."""
+        self._samples.setdefault(kind, []).append((at_time, latency))
+
+    def kinds(self) -> List[str]:
+        """Operation kinds seen so far."""
+        return sorted(self._samples)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Number of samples for ``kind`` (or across all kinds)."""
+        if kind is not None:
+            return len(self._samples.get(kind, ()))
+        return sum(len(v) for v in self._samples.values())
+
+    def latencies(self, kind: Optional[str] = None) -> List[float]:
+        """Raw latency values for ``kind`` (or across all kinds)."""
+        if kind is not None:
+            return [lat for __, lat in self._samples.get(kind, ())]
+        return [lat for rows in self._samples.values() for __, lat in rows]
+
+    def summary(self, kind: Optional[str] = None) -> LatencySummary:
+        """Percentile summary for ``kind`` (or pooled across kinds)."""
+        values = sorted(self.latencies(kind))
+        if not values:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        mean = sum(values) / len(values)
+        return LatencySummary(
+            count=len(values),
+            mean=mean,
+            p50=percentile(values, 50),
+            p90=percentile(values, 90),
+            p99=percentile(values, 99),
+            p999=percentile(values, 99.9),
+            max_=values[-1],
+        )
+
+    def series(
+        self, kind: Optional[str] = None, buckets: int = 100
+    ) -> List[Tuple[float, float]]:
+        """Average latency per time bucket -- the Figure 8 style series.
+
+        Returns ``(bucket_midpoint_time, mean_latency)`` pairs; empty
+        buckets are skipped.
+        """
+        if kind is not None:
+            rows = list(self._samples.get(kind, ()))
+        else:
+            rows = [pair for sub in self._samples.values() for pair in sub]
+        if not rows:
+            return []
+        rows.sort()
+        t0, t1 = rows[0][0], rows[-1][0]
+        span = (t1 - t0) or 1e-12
+        width = span / buckets
+        sums = [0.0] * buckets
+        counts = [0] * buckets
+        for at, lat in rows:
+            idx = min(buckets - 1, int((at - t0) / width))
+            sums[idx] += lat
+            counts[idx] += 1
+        out = []
+        for i in range(buckets):
+            if counts[i]:
+                out.append((t0 + (i + 0.5) * width, sums[i] / counts[i]))
+        return out
+
+    def merge_from(self, other: "LatencyRecorder") -> None:
+        """Absorb all samples from ``other``."""
+        for kind, rows in other._samples.items():
+            self._samples.setdefault(kind, []).extend(rows)

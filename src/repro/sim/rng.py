@@ -1,0 +1,46 @@
+"""Deterministic pseudo random number generation.
+
+Everything stochastic in the reproduction (skip-list tower heights, zipfian
+draws, key shuffles) goes through :class:`XorShiftRng` so that runs are
+bit-for-bit reproducible from a seed, independent of Python's global
+``random`` state.
+"""
+
+_MASK64 = (1 << 64) - 1
+
+
+class XorShiftRng:
+    """xorshift64* generator -- tiny, fast, and good enough for workloads."""
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        # A zero state would make xorshift degenerate; remap it.
+        self._state = (seed & _MASK64) or 0x9E3779B97F4A7C15
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit unsigned integer."""
+        x = self._state
+        x ^= (x >> 12) & _MASK64
+        x = (x ^ (x << 25)) & _MASK64
+        x ^= (x >> 27) & _MASK64
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def next_float(self) -> float:
+        """Uniform float in [0, 1)."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def next_below(self, bound: int) -> int:
+        """Uniform integer in [0, bound)."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+    def shuffle(self, items: list) -> None:
+        """Fisher-Yates shuffle in place."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next_below(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def fork(self, salt: int = 1) -> "XorShiftRng":
+        """Derive an independent generator (for sub-streams)."""
+        return XorShiftRng(self.next_u64() ^ (salt * 0xBF58476D1CE4E5B9))

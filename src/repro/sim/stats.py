@@ -1,0 +1,61 @@
+"""Named counters and duration accumulators shared by all KV stores.
+
+Stores publish the cost breakdowns the paper reports (Table 1): interval
+stalls, cumulative stalls, flushing time, (de)serialization time, bytes
+written by the user versus bytes written to each device, and so on.
+"""
+
+from typing import Dict
+
+
+class StatsRegistry:
+    """A flat map of named floating-point accumulators.
+
+    Conventional key families used across the reproduction:
+
+    - ``stall.interval_s`` / ``stall.cumulative_s`` -- write stalls.
+    - ``flush.time_s`` / ``flush.count`` / ``flush.bytes`` -- MemTable flushes.
+    - ``serialize.time_s`` / ``deserialize.time_s`` -- SSTable (de)serialization.
+    - ``compact.time_s`` / ``compact.count`` -- compaction work.
+    - ``user.bytes_written`` -- logical bytes the client wrote (WA denominator).
+    - ``gc.reclaimed_bytes`` -- memory reclaimed by lazy-copy GC.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = {}
+
+    def add(self, key: str, amount: float = 1.0) -> float:
+        """Accumulate ``amount`` into ``key`` and return the new total."""
+        total = self._values.get(key, 0.0) + amount
+        self._values[key] = total
+        return total
+
+    def set(self, key: str, value: float) -> None:
+        """Overwrite ``key`` with ``value``."""
+        self._values[key] = float(value)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        """Current value of ``key`` (``default`` when never touched)."""
+        return self._values.get(key, default)
+
+    def max(self, key: str, value: float) -> float:
+        """Keep the running maximum of ``key``."""
+        current = self._values.get(key)
+        if current is None or value > current:
+            self._values[key] = value
+            current = value
+        return current
+
+    def snapshot(self) -> Dict[str, float]:
+        """A copy of every counter, for reporting."""
+        return dict(self._values)
+
+    def reset(self) -> None:
+        """Zero out all counters."""
+        self._values.clear()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __repr__(self) -> str:
+        return f"StatsRegistry({len(self._values)} counters)"

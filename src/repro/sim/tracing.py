@@ -1,0 +1,91 @@
+"""Execution tracing for background work.
+
+A :class:`JobTracer` attached to an :class:`~repro.sim.executor.Executor`
+records every submitted job's (worker, name, start, end); the timeline
+can be rendered as an ASCII gantt chart -- the easiest way to *see*
+MioDB's parallel per-level compaction overlapping with flushing.
+"""
+
+from typing import List, Optional, Tuple
+
+
+class JobTracer:
+    """Records job spans from an executor it instruments."""
+
+    def __init__(self, executor) -> None:
+        self.executor = executor
+        self.spans: List[Tuple[str, str, float, float]] = []
+        self._original_submit = executor.submit
+        executor.submit = self._traced_submit  # instrument in place
+
+    def _traced_submit(self, worker, duration, callback=None, name="job",
+                       not_before=None):
+        job = self._original_submit(
+            worker, duration, callback, name=name, not_before=not_before
+        )
+        self.spans.append((worker.name, name, job.start, job.end))
+        return job
+
+    def detach(self) -> None:
+        """Stop tracing and restore the executor's submit method."""
+        self.executor.submit = self._original_submit
+
+    def busy_time(self, worker_name: Optional[str] = None) -> float:
+        """Total simulated seconds spent in traced jobs."""
+        return sum(
+            end - start
+            for wname, __, start, end in self.spans
+            if worker_name is None or wname == worker_name
+        )
+
+    def concurrency_profile(self, samples: int = 200) -> List[Tuple[float, int]]:
+        """(time, jobs-in-flight) samples over the traced window."""
+        if not self.spans:
+            return []
+        t0 = min(s[2] for s in self.spans)
+        t1 = max(s[3] for s in self.spans)
+        span = (t1 - t0) or 1e-12
+        profile = []
+        for i in range(samples):
+            t = t0 + span * i / samples
+            running = sum(1 for __, __n, s, e in self.spans if s <= t < e)
+            profile.append((t, running))
+        return profile
+
+    def max_concurrency(self) -> int:
+        """Peak number of overlapping background jobs."""
+        events = []
+        for __, __n, start, end in self.spans:
+            events.append((start, 1))
+            events.append((end, -1))
+        events.sort()
+        peak = current = 0
+        for __, delta in events:
+            current += delta
+            peak = max(peak, current)
+        return peak
+
+    def gantt(self, width: int = 72) -> str:
+        """ASCII gantt chart: one row per worker, '#' where busy."""
+        if not self.spans:
+            return "(no jobs traced)"
+        t0 = min(s[2] for s in self.spans)
+        t1 = max(s[3] for s in self.spans)
+        span = (t1 - t0) or 1e-12
+        workers = sorted({s[0] for s in self.spans})
+        label_width = max(len(w) for w in workers)
+        lines = []
+        for worker in workers:
+            cells = [" "] * width
+            for wname, __, start, end in self.spans:
+                if wname != worker:
+                    continue
+                lo = int((start - t0) / span * width)
+                hi = max(lo + 1, int((end - t0) / span * width))
+                for i in range(lo, min(hi, width)):
+                    cells[i] = "#"
+            lines.append(f"{worker.ljust(label_width)} |{''.join(cells)}|")
+        lines.append(
+            f"{' ' * label_width} t={t0 * 1e3:.2f}ms ... {t1 * 1e3:.2f}ms"
+        )
+        return "\n".join(lines)

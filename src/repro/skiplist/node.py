@@ -1,0 +1,71 @@
+"""Skip-list nodes and tower-height generation."""
+
+from typing import List, Optional
+
+MAX_HEIGHT = 12
+BRANCHING = 4
+
+# Per-node metadata the cost model charges when a node is materialised:
+# the tower pointers, key/seq headers, and allocator overhead.
+NODE_OVERHEAD_BYTES = 64
+
+
+class _Tombstone:
+    """Sentinel value marking a deleted key (kept until compaction)."""
+
+    def __repr__(self) -> str:
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+class Node:
+    """One version of one key.
+
+    ``nbytes`` is the entry's accounted size (key + value + overhead) in
+    *simulated* bytes; benchmarks use nominal value sizes far larger than
+    the in-interpreter payload.
+    """
+
+    __slots__ = ("key", "seq", "value", "nbytes", "next")
+
+    def __init__(self, key: bytes, seq: int, value, nbytes: int, height: int) -> None:
+        if height < 1 or height > MAX_HEIGHT:
+            raise ValueError(f"node height out of range: {height}")
+        self.key = key
+        self.seq = seq
+        self.value = value
+        self.nbytes = nbytes
+        self.next: List[Optional["Node"]] = [None] * height
+
+    @property
+    def height(self) -> int:
+        """Number of levels this node's tower spans."""
+        return len(self.next)
+
+    @property
+    def is_tombstone(self) -> bool:
+        """True when this version records a delete."""
+        return self.value is TOMBSTONE
+
+    def precedes(self, key: bytes, seq: int) -> bool:
+        """Ordering test: does this node sort before (key, seq)?
+
+        Keys ascend; among equal keys, larger sequence numbers (newer
+        versions) come first.
+        """
+        if self.key != key:
+            return self.key < key
+        return self.seq > seq
+
+    def __repr__(self) -> str:
+        return f"Node({self.key!r}, seq={self.seq}, h={self.height})"
+
+
+def random_height(rng) -> int:
+    """Draw a tower height with P(h >= k) = BRANCHING^-(k-1), capped."""
+    height = 1
+    while height < MAX_HEIGHT and rng.next_below(BRANCHING) == 0:
+        height += 1
+    return height

@@ -1,0 +1,214 @@
+"""Multi-version skip list.
+
+The list tracks both its live payload (``data_bytes``) and the payload of
+nodes that were unlinked by zero-copy merging but not yet reclaimed
+(``garbage_bytes``) -- the paper frees that memory lazily after a
+lazy-copy compaction.
+
+Search methods return ``(node, hops)`` pairs; the hop counts feed the CPU
+cost model (a hop on NVM is several times more expensive than on DRAM).
+"""
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.skiplist.node import (
+    MAX_HEIGHT,
+    NODE_OVERHEAD_BYTES,
+    Node,
+    random_height,
+)
+from repro.sim.rng import XorShiftRng
+
+
+class SkipList:
+    """Nodes ordered by (key ascending, seq descending)."""
+
+    def __init__(self, rng: Optional[XorShiftRng] = None) -> None:
+        self._rng = rng or XorShiftRng()
+        self.head = Node(b"", -1, None, 0, MAX_HEIGHT)
+        self.entries = 0
+        self.data_bytes = 0
+        self.garbage_bytes = 0
+
+    # -------------------------------------------------------------- queries
+
+    def _find_predecessors(
+        self, key: bytes, seq: int
+    ) -> Tuple[List[Node], int]:
+        """Predecessor at every level for position (key, seq); plus hops."""
+        preds = [self.head] * MAX_HEIGHT
+        node = self.head
+        hops = 0
+        for level in range(MAX_HEIGHT - 1, -1, -1):
+            nxt = node.next[level] if level < node.height else None
+            while nxt is not None and nxt.precedes(key, seq):
+                node = nxt
+                nxt = node.next[level]
+                hops += 1
+            preds[level] = node
+        return preds, hops
+
+    def first_ge(self, key: bytes) -> Tuple[Optional[Node], int]:
+        """First node with ``node.key >= key`` (its newest version)."""
+        # seq=+inf sentinel: stop before any version of `key`.
+        preds, hops = self._find_predecessors(key, 1 << 62)
+        return preds[0].next[0], hops
+
+    def get(
+        self, key: bytes, max_seq: Optional[int] = None
+    ) -> Tuple[Optional[Node], int]:
+        """Newest version of ``key`` visible at snapshot ``max_seq``.
+
+        Tombstone nodes are returned as-is; callers decide whether a
+        tombstone means "not found" or must shadow older levels.
+        """
+        node, hops = self.first_ge(key)
+        while node is not None and node.key == key:
+            if max_seq is None or node.seq <= max_seq:
+                return node, hops
+            node = node.next[0]
+            hops += 1
+        return None, hops
+
+    def nodes(self) -> Iterator[Node]:
+        """Every version in order, including tombstones."""
+        node = self.head.next[0]
+        while node is not None:
+            yield node
+            node = node.next[0]
+
+    def items(self, include_tombstones: bool = False):
+        """Newest version per key, as ``(key, value)`` pairs."""
+        last_key = None
+        for node in self.nodes():
+            if node.key == last_key:
+                continue
+            last_key = node.key
+            if node.is_tombstone and not include_tombstones:
+                continue
+            yield node.key, node.value
+
+    def first_node(self) -> Optional[Node]:
+        """The smallest node, or ``None`` when empty."""
+        return self.head.next[0]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no nodes are linked at the bottom level."""
+        return self.head.next[0] is None
+
+    def key_range(self) -> Optional[Tuple[bytes, bytes]]:
+        """(min_key, max_key) of live nodes, or ``None`` when empty."""
+        first = self.head.next[0]
+        if first is None:
+            return None
+        # Descend from the head's full-height tower, riding each level to
+        # its last node; the final bottom-level node is the maximum.
+        node = self.head
+        for level in range(MAX_HEIGHT - 1, -1, -1):
+            nxt = node.next[level]
+            while nxt is not None:
+                node = nxt
+                nxt = node.next[level]
+        return first.key, node.key
+
+    # -------------------------------------------------------------- updates
+
+    def insert(
+        self,
+        key: bytes,
+        seq: int,
+        value,
+        value_bytes: int,
+        height: Optional[int] = None,
+    ) -> Tuple[Node, int]:
+        """Insert one version; returns ``(node, hops)``.
+
+        Duplicate (key, seq) pairs are rejected -- sequence numbers are
+        globally unique in every store built on this structure.
+        """
+        preds, hops = self._find_predecessors(key, seq)
+        at = preds[0].next[0]
+        if at is not None and at.key == key and at.seq == seq:
+            raise ValueError(f"duplicate (key, seq): ({key!r}, {seq})")
+        if height is None:
+            height = random_height(self._rng)
+        nbytes = len(key) + value_bytes + NODE_OVERHEAD_BYTES
+        node = Node(key, seq, value, nbytes, height)
+        self._splice_in(node, preds)
+        return node, hops
+
+    def _splice_in(self, node: Node, preds: List[Node]) -> None:
+        """Link ``node`` after the given predecessors and account it."""
+        for level in range(node.height):
+            pred = preds[level]
+            node.next[level] = pred.next[level] if level < pred.height else None
+            pred.next[level] = node
+        self.entries += 1
+        self.data_bytes += node.nbytes
+
+    def update_in_place(self, node: Node, seq: int, value, value_bytes: int) -> int:
+        """Overwrite a node's payload (MioDB's repository update path).
+
+        Legal only when the node is its key's sole version in this list,
+        so changing ``seq`` cannot reorder it.  Returns the change in the
+        node's accounted size.
+        """
+        nxt = node.next[0]
+        if nxt is not None and nxt.key == node.key:
+            raise ValueError("in-place update on a multi-version key")
+        if seq < node.seq:
+            raise ValueError(f"in-place update going backwards: {seq} < {node.seq}")
+        new_nbytes = len(node.key) + value_bytes + NODE_OVERHEAD_BYTES
+        delta = new_nbytes - node.nbytes
+        node.seq = seq
+        node.value = value
+        node.nbytes = new_nbytes
+        self.data_bytes += delta
+        return delta
+
+    def unlink(self, node: Node, preds: List[Node], to_garbage: bool = True) -> None:
+        """Remove ``node`` given its predecessors at every level.
+
+        With ``to_garbage`` the node's bytes move to the garbage pool
+        (zero-copy merge semantics: unlinked but not yet reclaimed);
+        otherwise they simply leave the list (physical removal).
+        """
+        for level in range(node.height):
+            pred = preds[level]
+            if pred.next[level] is not node:
+                raise ValueError("stale predecessors for unlink")
+            pred.next[level] = node.next[level]
+        self.entries -= 1
+        self.data_bytes -= node.nbytes
+        if to_garbage:
+            self.garbage_bytes += node.nbytes
+
+    def predecessors_of(self, node: Node) -> List[Node]:
+        """Exact predecessors of a linked node (for unlinking)."""
+        preds, __ = self._find_predecessors(node.key, node.seq)
+        if preds[0].next[0] is not node:
+            raise ValueError(f"node not in list: {node!r}")
+        return preds
+
+    # ------------------------------------------------------------- accounting
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Live plus not-yet-reclaimed bytes (arena footprint)."""
+        return self.data_bytes + self.garbage_bytes
+
+    def reclaim_garbage(self) -> int:
+        """Drop the garbage accounting; returns bytes reclaimed."""
+        freed = self.garbage_bytes
+        self.garbage_bytes = 0
+        return freed
+
+    def __len__(self) -> int:
+        return self.entries
+
+    def __repr__(self) -> str:
+        return (
+            f"SkipList(entries={self.entries}, data={self.data_bytes}B, "
+            f"garbage={self.garbage_bytes}B)"
+        )

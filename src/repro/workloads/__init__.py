@@ -1,0 +1,50 @@
+"""Workload generators and runners.
+
+- :mod:`repro.workloads.dbbench` -- LevelDB's db_bench modes used in the
+  paper's microbenchmarks (Figure 6) and sensitivity studies.
+- :mod:`repro.workloads.ycsb` -- YCSB Load and workloads A-F with the
+  paper's zipfian(0.99) access pattern (Figures 7-8, Tables 2-3).
+- :mod:`repro.workloads.zipfian` -- the YCSB zipfian generator family.
+"""
+
+from repro.workloads.dbbench import (
+    delete_random,
+    fill_random,
+    fill_seq,
+    overwrite,
+    read_random,
+    read_seq,
+    seek_random,
+)
+from repro.workloads.openloop import OpenLoopResult, run_open_loop
+from repro.workloads.keys import key_for
+from repro.workloads.runner import Phase, RunResult
+from repro.workloads.ycsb import YCSB_WORKLOADS, load_phase, run_workload
+from repro.workloads.zipfian import (
+    LatestGenerator,
+    ScrambledZipfian,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+__all__ = [
+    "fill_random",
+    "fill_seq",
+    "read_random",
+    "read_seq",
+    "overwrite",
+    "delete_random",
+    "seek_random",
+    "run_open_loop",
+    "OpenLoopResult",
+    "key_for",
+    "Phase",
+    "RunResult",
+    "YCSB_WORKLOADS",
+    "load_phase",
+    "run_workload",
+    "ZipfianGenerator",
+    "ScrambledZipfian",
+    "LatestGenerator",
+    "UniformGenerator",
+]

@@ -1,0 +1,100 @@
+"""db_bench-equivalent microbenchmarks (the paper's Section 5.1).
+
+Four modes, matching LevelDB's tool: fillrandom, fillseq, readrandom,
+readseq.  Writes use 16-byte keys and a configurable nominal value size;
+reads query keys known to exist.
+"""
+
+from typing import Optional
+
+from repro.kvstore.values import SizedValue
+from repro.sim.rng import XorShiftRng
+from repro.workloads.keys import key_for
+from repro.workloads.runner import Phase, RunResult
+
+
+def fill_random(
+    store, n: int, value_size: int, seed: int = 1, quiesce: bool = False
+) -> RunResult:
+    """Write ``n`` KV pairs in random key order."""
+    order = list(range(n))
+    XorShiftRng(seed).shuffle(order)
+    with Phase("fillrandom", store.system) as phase:
+        for tag, index in enumerate(order):
+            store.put(key_for(index), SizedValue(tag, value_size))
+        if quiesce:
+            store.quiesce()
+    return phase.result()
+
+
+def fill_seq(
+    store, n: int, value_size: int, quiesce: bool = False
+) -> RunResult:
+    """Write ``n`` KV pairs in ascending key order."""
+    with Phase("fillseq", store.system) as phase:
+        for index in range(n):
+            store.put(key_for(index), SizedValue(index, value_size))
+        if quiesce:
+            store.quiesce()
+    return phase.result()
+
+
+def read_random(
+    store, n_reads: int, key_space: int, seed: int = 2, expect_hits: bool = True
+) -> RunResult:
+    """Read ``n_reads`` uniformly random existing keys."""
+    rng = XorShiftRng(seed)
+    misses = 0
+    with Phase("readrandom", store.system) as phase:
+        for __ in range(n_reads):
+            value, __lat = store.get(key_for(rng.next_below(key_space)))
+            if value is None:
+                misses += 1
+    if expect_hits and misses:
+        raise AssertionError(f"readrandom missed {misses}/{n_reads} existing keys")
+    return phase.result()
+
+
+def read_seq(
+    store, n_reads: int, key_space: int, start: Optional[int] = None
+) -> RunResult:
+    """Read keys in ascending order (db_bench's readseq)."""
+    first = 0 if start is None else start
+    with Phase("readseq", store.system) as phase:
+        for i in range(n_reads):
+            store.get(key_for((first + i) % key_space))
+    return phase.result()
+
+
+def overwrite(
+    store, n: int, key_space: int, value_size: int, seed: int = 3
+) -> RunResult:
+    """Random overwrites of existing keys (db_bench's overwrite)."""
+    rng = XorShiftRng(seed)
+    with Phase("overwrite", store.system) as phase:
+        for tag in range(n):
+            store.put(
+                key_for(rng.next_below(key_space)),
+                SizedValue(("ow", tag), value_size),
+            )
+    return phase.result()
+
+
+def delete_random(store, n: int, key_space: int, seed: int = 4) -> RunResult:
+    """Random deletions (db_bench's deleterandom)."""
+    rng = XorShiftRng(seed)
+    with Phase("deleterandom", store.system) as phase:
+        for __ in range(n):
+            store.delete(key_for(rng.next_below(key_space)))
+    return phase.result()
+
+
+def seek_random(
+    store, n_seeks: int, key_space: int, scan_length: int = 10, seed: int = 5
+) -> RunResult:
+    """Random short range scans (db_bench's seekrandom)."""
+    rng = XorShiftRng(seed)
+    with Phase("seekrandom", store.system) as phase:
+        for __ in range(n_seeks):
+            store.scan(key_for(rng.next_below(key_space)), scan_length)
+    return phase.result()

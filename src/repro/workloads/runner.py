@@ -1,0 +1,107 @@
+"""Phase measurement over the simulated clock.
+
+A :class:`Phase` brackets a stretch of operations against one store and
+produces a :class:`RunResult`: simulated duration, throughput, and the
+latency summary of exactly the operations issued inside the phase.
+"""
+
+from typing import Dict, Optional
+
+from repro.sim.latency import LatencyRecorder, LatencySummary
+
+
+class RunResult:
+    """Metrics for one workload phase."""
+
+    def __init__(
+        self,
+        name: str,
+        ops: int,
+        duration_s: float,
+        latency: LatencySummary,
+        per_kind: Dict[str, LatencySummary],
+        stats_delta: Dict[str, float],
+    ) -> None:
+        self.name = name
+        self.ops = ops
+        self.duration_s = duration_s
+        self.latency = latency
+        self.per_kind = per_kind
+        self.stats_delta = stats_delta
+
+    @property
+    def kiops(self) -> float:
+        """Throughput in thousands of operations per simulated second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.ops / self.duration_s / 1e3
+
+    @property
+    def mb_per_s(self) -> float:
+        """User bytes written per second during the phase, in MB/s."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.stats_delta.get("user.bytes_written", 0.0) / self.duration_s / 2**20
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.name!r}, ops={self.ops}, "
+            f"{self.kiops:.1f} KIOPS, avg={self.latency.mean*1e6:.1f}us)"
+        )
+
+
+class Phase:
+    """Context manager measuring a block of store operations.
+
+    Example::
+
+        with Phase("load", store.system) as phase:
+            for i in range(n):
+                store.put(key_for(i), value)
+        result = phase.result()
+    """
+
+    def __init__(self, name: str, system) -> None:
+        self.name = name
+        self.system = system
+        self._start_time: Optional[float] = None
+        self._start_counts: Dict[str, int] = {}
+        self._start_stats: Dict[str, float] = {}
+        self._result: Optional[RunResult] = None
+
+    def __enter__(self) -> "Phase":
+        self._start_time = self.system.clock.now
+        recorder = self.system.latency
+        self._start_counts = {k: recorder.count(k) for k in recorder.kinds()}
+        self._start_stats = self.system.stats.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        self._result = self._measure()
+
+    def _measure(self) -> RunResult:
+        recorder = self.system.latency
+        duration = self.system.clock.now - self._start_time
+        window = LatencyRecorder()
+        ops = 0
+        for kind in recorder.kinds():
+            skip = self._start_counts.get(kind, 0)
+            rows = recorder._samples[kind][skip:]
+            ops += len(rows)
+            for at, lat in rows:
+                window.record(kind, at, lat)
+        per_kind = {k: window.summary(k) for k in window.kinds()}
+        end_stats = self.system.stats.snapshot()
+        delta = {
+            key: end_stats.get(key, 0.0) - self._start_stats.get(key, 0.0)
+            for key in end_stats
+        }
+        return RunResult(self.name, ops, duration, window.summary(), per_kind, delta)
+
+    def result(self) -> RunResult:
+        """The phase's metrics (after the ``with`` block exits)."""
+        if self._result is None:
+            raise RuntimeError("Phase.result() called before the phase finished")
+        return self._result

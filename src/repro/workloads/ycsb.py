@@ -1,0 +1,116 @@
+"""YCSB core workloads A-F (Cooper et al., SoCC'10), as the paper runs
+them: zipfian(0.99) request distribution, latest-distribution for D,
+1 KB or 4 KB values, one million operations after an 80 GB load (both
+scaled down in this reproduction).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.kvstore.values import SizedValue
+from repro.sim.rng import XorShiftRng
+from repro.workloads.keys import key_for
+from repro.workloads.runner import Phase, RunResult
+from repro.workloads.zipfian import (
+    LatestGenerator,
+    ScrambledZipfian,
+    UniformGenerator,
+)
+
+
+@dataclass
+class YcsbSpec:
+    """Operation mix of one YCSB workload."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    distribution: str = "zipfian"
+    scan_length: int = 50
+
+
+YCSB_WORKLOADS: Dict[str, YcsbSpec] = {
+    "A": YcsbSpec("A", read=0.5, update=0.5),
+    "B": YcsbSpec("B", read=0.95, update=0.05),
+    "C": YcsbSpec("C", read=1.0),
+    "D": YcsbSpec("D", read=0.95, insert=0.05, distribution="latest"),
+    "E": YcsbSpec("E", scan=0.95, insert=0.05),
+    "F": YcsbSpec("F", read=0.5, rmw=0.5),
+}
+
+
+def load_phase(store, n: int, value_size: int, seed: int = 11) -> RunResult:
+    """YCSB Load: insert ``n`` records in hashed (random-looking) order."""
+    order = list(range(n))
+    XorShiftRng(seed).shuffle(order)
+    with Phase("load", store.system) as phase:
+        for tag, index in enumerate(order):
+            store.put(key_for(index), SizedValue(("load", tag), value_size))
+    return phase.result()
+
+
+def run_workload(
+    store,
+    spec: YcsbSpec,
+    n_ops: int,
+    record_count: int,
+    value_size: int,
+    seed: int = 23,
+    check_reads: bool = False,
+) -> RunResult:
+    """Run ``n_ops`` operations of one YCSB workload against ``store``.
+
+    ``record_count`` is the number of records loaded beforehand; inserts
+    extend the key space past it.
+    """
+    rng = XorShiftRng(seed)
+    if spec.distribution == "latest":
+        chooser = LatestGenerator(record_count, rng.fork(1))
+    elif spec.distribution == "uniform":
+        chooser = UniformGenerator(record_count, rng.fork(2))
+    else:
+        chooser = ScrambledZipfian(record_count, rng.fork(3))
+    next_insert = record_count
+    thresholds = _mix_thresholds(spec)
+
+    with Phase(f"ycsb-{spec.name}", store.system) as phase:
+        for op_index in range(n_ops):
+            draw = rng.next_float()
+            if draw < thresholds["read"]:
+                value, __ = store.get(key_for(chooser.next()))
+                if check_reads and value is None:
+                    raise AssertionError("YCSB read missed a loaded key")
+            elif draw < thresholds["update"]:
+                store.put(
+                    key_for(chooser.next()),
+                    SizedValue(("upd", op_index), value_size),
+                )
+            elif draw < thresholds["insert"]:
+                store.put(
+                    key_for(next_insert),
+                    SizedValue(("ins", op_index), value_size),
+                )
+                if isinstance(chooser, LatestGenerator):
+                    chooser.observe_insert(next_insert)
+                next_insert += 1
+            elif draw < thresholds["scan"]:
+                store.scan(key_for(chooser.next()), spec.scan_length)
+            else:  # read-modify-write
+                key = key_for(chooser.next())
+                store.get(key)
+                store.put(key, SizedValue(("rmw", op_index), value_size))
+    return phase.result()
+
+
+def _mix_thresholds(spec: YcsbSpec) -> Dict[str, float]:
+    total = spec.read + spec.update + spec.insert + spec.scan + spec.rmw
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"workload {spec.name} mix sums to {total}, expected 1")
+    read_t = spec.read
+    update_t = read_t + spec.update
+    insert_t = update_t + spec.insert
+    scan_t = insert_t + spec.scan
+    return {"read": read_t, "update": update_t, "insert": insert_t, "scan": scan_t}

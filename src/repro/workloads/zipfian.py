@@ -1,0 +1,84 @@
+"""YCSB's request-distribution generators.
+
+:class:`ZipfianGenerator` is the Gray et al. algorithm YCSB uses, with the
+paper's default skew (theta = 0.99).  :class:`ScrambledZipfian` hashes the
+rank so the popular items are spread over the key space, and
+:class:`LatestGenerator` skews toward the most recently inserted record
+(YCSB workload D).
+"""
+
+from repro.bloom.hashing import fnv1a_64
+from repro.sim.rng import XorShiftRng
+
+
+class UniformGenerator:
+    """Uniform draws over ``[0, n)``."""
+
+    def __init__(self, n: int, rng: XorShiftRng) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        self._rng = rng
+
+    def next(self) -> int:
+        return self._rng.next_below(self.n)
+
+
+class ZipfianGenerator:
+    """Zipf-distributed ranks over ``[0, n)`` (most popular = 0)."""
+
+    def __init__(self, n: int, rng: XorShiftRng, theta: float = 0.99) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if not 0 < theta < 1:
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self._rng.next_float()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * ((self._eta * u - self._eta + 1) ** self._alpha))
+
+
+class ScrambledZipfian:
+    """Zipfian ranks hashed over the key space (YCSB's default)."""
+
+    def __init__(self, n: int, rng: XorShiftRng, theta: float = 0.99) -> None:
+        self.n = n
+        self._zipf = ZipfianGenerator(n, rng, theta)
+
+    def next(self) -> int:
+        rank = self._zipf.next()
+        return fnv1a_64(rank.to_bytes(8, "little")) % self.n
+
+
+class LatestGenerator:
+    """Skewed toward the most recent insert (workload D's read side)."""
+
+    def __init__(self, n: int, rng: XorShiftRng, theta: float = 0.99) -> None:
+        self._zipf = ZipfianGenerator(max(1, n), rng, theta)
+        self.max_index = n - 1
+
+    def observe_insert(self, index: int) -> None:
+        """Tell the generator a new record ``index`` exists."""
+        if index > self.max_index:
+            self.max_index = index
+
+    def next(self) -> int:
+        offset = self._zipf.next()
+        value = self.max_index - offset
+        return value if value >= 0 else 0

@@ -1,0 +1,158 @@
+"""Tests for WriteBatch atomicity and the items() iterator."""
+
+import pytest
+
+from repro.core import MioDB, MioOptions, recover
+from repro.kvstore.batch import WriteBatch
+from repro.kvstore.values import SizedValue
+from repro.mem.system import HybridMemorySystem
+from repro.persist.crash import CrashInjector, SimulatedCrash
+
+KB = 1 << 10
+
+
+# ------------------------------------------------------------- WriteBatch
+
+
+def test_batch_builder_validation():
+    batch = WriteBatch()
+    with pytest.raises(ValueError):
+        batch.put(b"", b"v")
+    with pytest.raises(TypeError):
+        batch.put(b"k", 123)
+    with pytest.raises(ValueError):
+        batch.delete(b"")
+    batch.put(b"k", b"v").delete(b"k2")
+    assert len(batch) == 2
+    assert not batch.is_empty
+
+
+def test_batch_applies_all_ops(system, tiny_mio_options):
+    store = MioDB(system, tiny_mio_options)
+    store.put(b"victim", b"old")
+    batch = WriteBatch()
+    for i in range(20):
+        batch.put(b"batch%03d" % i, SizedValue(i, 128))
+    batch.delete(b"victim")
+    latency = store.write(batch)
+    assert latency > 0
+    for i in range(20):
+        value, __ = store.get(b"batch%03d" % i)
+        assert value.tag == i
+    value, __ = store.get(b"victim")
+    assert value is None
+
+
+def test_empty_batch_is_free(system, tiny_mio_options):
+    store = MioDB(system, tiny_mio_options)
+    assert store.write(WriteBatch()) == 0.0
+
+
+def test_base_class_batch_on_baselines(system, tiny_options):
+    from repro.baselines import LevelDBStore
+
+    store = LevelDBStore(system, tiny_options)
+    batch = WriteBatch().put(b"a", b"1").put(b"b", b"2").delete(b"a")
+    store.write(batch)
+    assert store.get(b"a")[0] is None
+    assert store.get(b"b")[0] == b"2"
+
+
+def test_batch_is_atomic_across_torn_crash():
+    system = HybridMemorySystem()
+    injector = CrashInjector()
+    store = MioDB(
+        system,
+        MioOptions(memtable_bytes=8 * KB, num_levels=3),
+        crash_injector=injector,
+    )
+    for i in range(50):
+        store.put(b"pre%03d" % i, SizedValue(i, 128))
+
+    batch = WriteBatch()
+    for i in range(10):
+        batch.put(b"atomic%03d" % i, SizedValue(i, 128))
+    injector.arm("write.after_wal_batch")
+    with pytest.raises(SimulatedCrash):
+        store.write(batch)
+    # the crash tore the commit record away: the whole batch must vanish
+    store.wal.tear_tail(1)
+    recovered, __ = recover(store)
+    for i in range(10):
+        value, __lat = recovered.get(b"atomic%03d" % i)
+        assert value is None, i
+    for i in range(50):
+        value, __lat = recovered.get(b"pre%03d" % i)
+        assert value is not None, i
+
+
+def test_batch_survives_crash_after_commit():
+    system = HybridMemorySystem()
+    injector = CrashInjector()
+    store = MioDB(
+        system,
+        MioOptions(memtable_bytes=8 * KB, num_levels=3),
+        crash_injector=injector,
+    )
+    batch = WriteBatch()
+    for i in range(10):
+        batch.put(b"atomic%03d" % i, SizedValue(i, 128))
+    injector.arm("write.after_wal_batch")
+    with pytest.raises(SimulatedCrash):
+        store.write(batch)
+    # commit record intact (no torn tail): replay surfaces the batch
+    recovered, __ = recover(store)
+    for i in range(10):
+        value, __lat = recovered.get(b"atomic%03d" % i)
+        assert value is not None and value.tag == i
+
+
+# ---------------------------------------------------------------- items()
+
+
+def test_items_full_iteration(system, tiny_mio_options):
+    store = MioDB(system, tiny_mio_options)
+    keys = [b"key%04d" % i for i in range(300)]
+    for i, key in enumerate(keys):
+        store.put(key, SizedValue(i, 128))
+    store.quiesce()
+    got = [k for k, __ in store.items()]
+    assert got == keys
+
+
+def test_items_bounds(system, tiny_mio_options):
+    store = MioDB(system, tiny_mio_options)
+    for i in range(100):
+        store.put(b"key%04d" % i, SizedValue(i, 128))
+    window = list(store.items(b"key0010", b"key0020"))
+    assert [k for k, __ in window] == [b"key%04d" % i for i in range(10, 20)]
+    assert all(v.tag == i for i, (__, v) in zip(range(10, 20), window))
+
+
+def test_items_skips_deletes(system, tiny_mio_options):
+    store = MioDB(system, tiny_mio_options)
+    for i in range(30):
+        store.put(b"key%04d" % i, SizedValue(i, 128))
+    store.delete(b"key0005")
+    keys = [k for k, __ in store.items()]
+    assert b"key0005" not in keys
+    assert len(keys) == 29
+
+
+def test_items_page_size_validation(system, tiny_mio_options):
+    store = MioDB(system, tiny_mio_options)
+    with pytest.raises(ValueError):
+        list(store.items(page_size=0))
+
+
+def test_items_works_on_every_store(tiny_options):
+    from repro.bench import STORE_NAMES, make_store
+    from repro.bench.config import BenchScale
+
+    scale = BenchScale(memtable_bytes=8 * KB)
+    for name in STORE_NAMES:
+        store, __ = make_store(name, scale)
+        for i in range(60):
+            store.put(b"key%04d" % i, SizedValue(i, 128))
+        got = [k for k, __v in store.items(page_size=17)]
+        assert got == [b"key%04d" % i for i in range(60)], name

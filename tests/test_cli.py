@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "miodb" in out
+    assert "nvm" in out
+    assert "bench scale" in out
+
+
+def test_dbbench_single_store(capsys):
+    assert main(["dbbench", "--store", "miodb", "--n", "300", "--reads", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "miodb" in out
+    assert "write_KIOPS" in out
+
+
+def test_dbbench_multiple_stores(capsys):
+    rc = main(
+        ["dbbench", "--store", "miodb,leveldb", "--n", "200", "--reads", "20"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "miodb" in out and "leveldb" in out
+
+
+def test_dbbench_fillseq_mode(capsys):
+    rc = main(
+        ["dbbench", "--store", "miodb", "--mode", "fillseq", "--n", "200",
+         "--reads", "20"]
+    )
+    assert rc == 0
+
+
+def test_ycsb(capsys):
+    rc = main(
+        ["ycsb", "--store", "miodb", "--workloads", "A,C", "--records", "200",
+         "--ops", "100"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "A_KIOPS" in out and "C_KIOPS" in out
+
+
+def test_ycsb_rejects_unknown_workload(capsys):
+    rc = main(
+        ["ycsb", "--store", "miodb", "--workloads", "Z", "--records", "100",
+         "--ops", "10"]
+    )
+    assert rc == 2
+
+
+def test_unknown_store_rejected():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["dbbench", "--store", "rocksdb"])
+
+
+def test_store_all_expands():
+    parser = build_parser()
+    args = parser.parse_args(["dbbench", "--store", "all"])
+    assert len(args.store) >= 6
+
+
+def test_ssd_flag(capsys):
+    rc = main(
+        ["dbbench", "--store", "miodb", "--ssd", "--n", "200", "--reads", "20"]
+    )
+    assert rc == 0

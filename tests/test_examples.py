@@ -1,0 +1,37 @@
+"""Smoke tests: the example scripts must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "zero_copy_anatomy.py",
+    "crash_recovery.py",
+    "compaction_timeline.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_all_examples_exist():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts >= set(FAST_EXAMPLES) | {
+        "ycsb_comparison.py",
+        "ssd_tiering.py",
+        "write_amplification_tour.py",
+    }

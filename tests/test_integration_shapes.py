@@ -1,0 +1,106 @@
+"""Integration tests asserting the paper's headline *shapes*.
+
+These are the claims the benchmarks regenerate in full; here they are
+pinned at reduced scale so the suite stays fast while guarding against
+regressions that would silently invert a conclusion:
+
+- MioDB has the highest random-write throughput (Figure 6 / Table 1);
+- MioDB eliminates interval stalls and nearly all cumulative stalls;
+- write amplification: MioDB < MatrixKV < NoveLSM, MioDB near 3 (Fig 11);
+- MioDB's p99.9 put latency is at least an order of magnitude below the
+  SSTable-based baselines (Table 2);
+- MioDB flushes MemTables much faster than both baselines (Figure 12).
+"""
+
+import pytest
+
+from repro.bench import make_store
+from repro.bench.config import BenchScale
+from repro.workloads import fill_random
+
+KB = 1 << 10
+MB = 1 << 20
+
+SCALE = BenchScale(
+    memtable_bytes=256 * KB,
+    dataset_bytes=8 * MB,
+    value_size=4 * KB,
+    nvm_buffer_bytes=4 * MB,
+)
+N = SCALE.n_records  # 2048 puts
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    """Load the same fillrandom dataset into every store once."""
+    results = {}
+    for name in ("miodb", "matrixkv", "novelsm", "leveldb"):
+        store, system = make_store(name, SCALE)
+        run = fill_random(store, N, SCALE.value_size)
+        store.quiesce()
+        results[name] = (store, system, run)
+    return results
+
+
+def test_miodb_wins_random_write_throughput(loaded):
+    kiops = {name: run.kiops for name, (__, __s, run) in loaded.items()}
+    assert kiops["miodb"] > 1.5 * kiops["matrixkv"]
+    assert kiops["miodb"] > 4 * kiops["novelsm"]
+    assert kiops["miodb"] > 4 * kiops["leveldb"]
+
+
+def test_miodb_has_no_write_stalls(loaded):
+    __, system, __r = loaded["miodb"]
+    assert system.stats.get("stall.interval_s") == pytest.approx(0.0, abs=1e-6)
+    assert system.stats.get("stall.cumulative_s") == 0.0
+
+
+def test_matrixkv_has_no_interval_stalls_but_cumulative(loaded):
+    __, system, __r = loaded["matrixkv"]
+    assert system.stats.get("stall.interval_s") == pytest.approx(0.0, abs=1e-9)
+    assert system.stats.get("stall.cumulative_s") > 0
+
+
+def test_novelsm_has_interval_stalls(loaded):
+    __, system, __r = loaded["novelsm"]
+    total = system.stats.get("stall.interval_s") + system.stats.get(
+        "stall.cumulative_s"
+    )
+    assert total > 0
+
+
+def test_write_amplification_ordering(loaded):
+    wa = {name: system.write_amplification() for name, (__, system, __r) in loaded.items()}
+    assert wa["miodb"] < wa["matrixkv"] < wa["novelsm"] * 1.5
+    assert wa["miodb"] < wa["leveldb"]
+    assert wa["miodb"] <= 3.2  # theoretical bound 3 (log + flush + lazy copy)
+
+
+def test_miodb_tail_latency_is_orders_lower(loaded):
+    p999 = {
+        name: system.latency.summary("put").p999
+        for name, (__, system, __r) in loaded.items()
+    }
+    assert p999["miodb"] * 10 < p999["matrixkv"]
+    assert p999["miodb"] * 10 < p999["novelsm"]
+
+
+def test_miodb_flushes_fastest(loaded):
+    per_flush = {}
+    for name, (__, system, __r) in loaded.items():
+        flushes = system.stats.get("flush.count")
+        if flushes:
+            per_flush[name] = system.stats.get("flush.time_s") / flushes
+    assert per_flush["miodb"] < per_flush["matrixkv"]
+    assert per_flush["miodb"] < per_flush["novelsm"]
+
+
+def test_miodb_read_beats_baselines_after_load(loaded):
+    from repro.workloads import read_random
+
+    tputs = {}
+    for name, (store, system, __r) in loaded.items():
+        result = read_random(store, 400, N)
+        tputs[name] = result.kiops
+    assert tputs["miodb"] > tputs["matrixkv"]
+    assert tputs["miodb"] > tputs["novelsm"]

@@ -1,0 +1,144 @@
+"""Unit tests for the KV store base: values, options, MemTable, API checks."""
+
+import pytest
+
+from repro.kvstore.memtable import MemTable, memtable_entries
+from repro.kvstore.options import MB, StoreOptions
+from repro.kvstore.values import SizedValue, value_nbytes
+from repro.sim.rng import XorShiftRng
+
+
+# ------------------------------------------------------------------ values
+
+
+def test_value_nbytes_for_bytes():
+    assert value_nbytes(b"hello") == 5
+    assert value_nbytes(bytearray(b"abc")) == 3
+
+
+def test_value_nbytes_for_str():
+    assert value_nbytes("héllo") == len("héllo".encode("utf-8"))
+
+
+def test_value_nbytes_for_sized_value():
+    assert value_nbytes(SizedValue("tag", 4096)) == 4096
+
+
+def test_value_nbytes_rejects_other_types():
+    with pytest.raises(TypeError):
+        value_nbytes(12345)
+
+
+def test_sized_value_equality_and_hash():
+    a = SizedValue("x", 10)
+    b = SizedValue("x", 10)
+    c = SizedValue("y", 10)
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)
+
+
+def test_sized_value_rejects_negative():
+    with pytest.raises(ValueError):
+        SizedValue("x", -1)
+
+
+# ----------------------------------------------------------------- options
+
+
+def test_level_capacity_grows_by_fanout():
+    opts = StoreOptions(sstable_bytes=MB, level_fanout=10)
+    assert opts.level_capacity_bytes(1) == 10 * MB
+    assert opts.level_capacity_bytes(2) == 100 * MB
+
+
+def test_level0_capacity_from_slowdown_trigger():
+    opts = StoreOptions(sstable_bytes=MB, l0_slowdown_tables=8)
+    assert opts.level_capacity_bytes(0) == 8 * MB
+
+
+# ---------------------------------------------------------------- memtable
+
+
+def test_memtable_insert_and_get(system):
+    table = MemTable(system, 1 << 20, XorShiftRng(1))
+    cost = table.insert(b"k", 1, b"value", 5)
+    assert cost > 0
+    node, get_cost = table.get(b"k")
+    assert node.value == b"value"
+    assert get_cost > 0
+
+
+def test_memtable_fills_up(system):
+    table = MemTable(system, 1 << 10, XorShiftRng(1))
+    i = 0
+    while not table.is_full:
+        table.insert(b"k%05d" % i, i + 1, b"v", 100)
+        i += 1
+    assert table.data_bytes >= (1 << 10) - 200
+
+
+def test_memtable_immutable_rejects_inserts(system):
+    table = MemTable(system, 1 << 20, XorShiftRng(1))
+    table.mark_immutable()
+    with pytest.raises(ValueError):
+        table.insert(b"k", 1, b"v", 1)
+
+
+def test_memtable_placement_affects_device(system):
+    dram_table = MemTable(system, 1 << 20, XorShiftRng(1), placement="dram")
+    assert system.dram.bytes_in_use >= 1 << 20
+    nvm_before = system.nvm.bytes_in_use
+    MemTable(system, 1 << 20, XorShiftRng(2), placement="nvm")
+    assert system.nvm.bytes_in_use == nvm_before + (1 << 20)
+    dram_table.release()
+
+
+def test_memtable_nvm_insert_costs_more(system):
+    dram_table = MemTable(system, 1 << 20, XorShiftRng(1))
+    nvm_table = MemTable(system, 1 << 20, XorShiftRng(1), placement="nvm")
+    dram_cost = dram_table.insert(b"k", 1, b"v", 4096)
+    nvm_cost = nvm_table.insert(b"k", 1, b"v", 4096)
+    assert nvm_cost > dram_cost
+
+
+def test_memtable_rejects_bad_args(system):
+    with pytest.raises(ValueError):
+        MemTable(system, 0)
+    with pytest.raises(ValueError):
+        MemTable(system, 10, placement="tape")
+
+
+def test_memtable_entries_sorted_and_sized(system):
+    table = MemTable(system, 1 << 20, XorShiftRng(1))
+    table.insert(b"b", 1, b"v1", 7)
+    table.insert(b"a", 2, b"v2", 9)
+    table.insert(b"a", 3, b"v3", 11)
+    entries = memtable_entries(table)
+    assert [(e[0], e[1]) for e in entries] == [(b"a", 3), (b"a", 2), (b"b", 1)]
+    assert entries[0][3] == 11  # value_bytes round-trips
+
+
+# ----------------------------------------------------------- api validation
+
+
+def test_store_rejects_empty_keys(system, tiny_mio_options):
+    from repro.core import MioDB
+
+    store = MioDB(system, tiny_mio_options)
+    with pytest.raises(ValueError):
+        store.put(b"", b"v")
+    with pytest.raises(ValueError):
+        store.get("not-bytes")
+    with pytest.raises(ValueError):
+        store.scan(b"ok", -1)
+
+
+def test_delete_then_get_returns_none(system, tiny_mio_options):
+    from repro.core import MioDB
+
+    store = MioDB(system, tiny_mio_options)
+    store.put(b"k", b"v")
+    store.delete(b"k")
+    value, __ = store.get(b"k")
+    assert value is None

@@ -1,0 +1,67 @@
+"""Direct unit tests for MatrixKV's matrix container rows."""
+
+import pytest
+
+from repro.baselines.matrixkv import MatrixRow, _next_key
+from repro.mem.system import HybridMemorySystem
+from repro.sstable.table import entry_frame_bytes
+
+
+@pytest.fixture
+def system():
+    return HybridMemorySystem()
+
+
+def entries_for(keys, start_seq=1, vbytes=100):
+    return [(k, start_seq + i, b"v" + k, vbytes) for i, k in enumerate(keys)]
+
+
+def test_row_allocates_nvm(system):
+    row = MatrixRow(system, entries_for([b"a", b"b"]))
+    assert system.nvm.bytes_in_use == row.data_bytes
+    assert row.data_bytes == sum(entry_frame_bytes(e) for e in row.entries)
+
+
+def test_row_get_hit_and_miss(system):
+    row = MatrixRow(system, entries_for([b"a", b"c"]))
+    entry, cost = row.get(b"a", system.cpu)
+    assert entry[0] == b"a"
+    assert cost > 0
+    entry, cost = row.get(b"b", system.cpu)
+    assert entry is None
+
+
+def test_row_get_charges_deserialization(system):
+    row = MatrixRow(system, entries_for([b"a"]))
+    before = system.stats.get("deserialize.time_s")
+    row.get(b"a", system.cpu)
+    assert system.stats.get("deserialize.time_s") > before
+
+
+def test_take_range_removes_and_shrinks(system):
+    row = MatrixRow(system, entries_for([b"a", b"b", b"c", b"d"]))
+    taken = row.take_range(b"b", b"c")
+    assert [e[0] for e in taken] == [b"b", b"c"]
+    assert [e[0] for e in row.entries] == [b"a", b"d"]
+    assert system.nvm.bytes_in_use == row.data_bytes
+    assert not row.is_empty
+
+
+def test_take_range_open_bounds(system):
+    row = MatrixRow(system, entries_for([b"a", b"b", b"c"]))
+    taken = row.take_range(None, b"a")
+    assert [e[0] for e in taken] == [b"a"]
+    taken = row.take_range(b"b", row.entries[-1][0])
+    assert [e[0] for e in taken] == [b"b", b"c"]
+    assert row.is_empty
+
+
+def test_take_range_empty_slice(system):
+    row = MatrixRow(system, entries_for([b"a", b"d"]))
+    assert row.take_range(b"b", b"c") == []
+    assert len(row.entries) == 2
+
+
+def test_next_key_is_successor():
+    assert _next_key(b"abc") == b"abc\x00"
+    assert b"abc" < _next_key(b"abc") < b"abd"

@@ -1,0 +1,95 @@
+"""Unit tests for device models and traffic/space accounting."""
+
+import pytest
+
+from repro.mem.device import Device, DeviceProfile
+from repro.mem.profiles import DRAM_PROFILE, NVME_SSD_PROFILE, OPTANE_NVM_PROFILE
+
+
+@pytest.fixture
+def nvm():
+    return Device(OPTANE_NVM_PROFILE)
+
+
+def test_read_time_is_latency_plus_bandwidth(nvm):
+    profile = nvm.profile
+    t = nvm.read(1 << 20, sequential=True)
+    assert t == pytest.approx(profile.read_latency + (1 << 20) / profile.seq_read_bw)
+
+
+def test_random_write_slower_than_sequential(nvm):
+    seq = nvm.write(1 << 20, sequential=True)
+    rand = nvm.write(1 << 20, sequential=False)
+    assert rand > seq
+
+
+def test_traffic_counters(nvm):
+    nvm.read(100)
+    nvm.read(50)
+    nvm.write(200)
+    assert nvm.bytes_read == 150
+    assert nvm.bytes_written == 200
+    assert nvm.read_ops == 2
+    assert nvm.write_ops == 1
+
+
+def test_pointer_write_is_8_bytes(nvm):
+    nvm.pointer_write()
+    assert nvm.bytes_written == 8
+
+
+def test_negative_sizes_rejected(nvm):
+    with pytest.raises(ValueError):
+        nvm.read(-1)
+    with pytest.raises(ValueError):
+        nvm.write(-1)
+
+
+def test_allocate_release_and_peak(nvm):
+    nvm.allocate(100)
+    nvm.allocate(200)
+    assert nvm.bytes_in_use == 300
+    assert nvm.peak_bytes_in_use == 300
+    nvm.release(150)
+    assert nvm.bytes_in_use == 150
+    assert nvm.peak_bytes_in_use == 300
+
+
+def test_release_more_than_allocated_rejected(nvm):
+    nvm.allocate(10)
+    with pytest.raises(ValueError):
+        nvm.release(11)
+
+
+def test_capacity_enforced():
+    dev = Device(OPTANE_NVM_PROFILE, capacity=100)
+    dev.allocate(100)
+    with pytest.raises(MemoryError):
+        dev.allocate(1)
+
+
+def test_average_usage_time_weighted(nvm):
+    nvm.allocate(100, now=0.0)
+    nvm.allocate(100, now=1.0)  # 100 bytes for [0,1)
+    avg = nvm.average_usage(now=2.0)  # then 200 bytes for [1,2)
+    assert avg == pytest.approx(150.0)
+
+
+def test_reset_counters_preserves_space(nvm):
+    nvm.allocate(100)
+    nvm.write(50)
+    nvm.reset_counters()
+    assert nvm.bytes_written == 0
+    assert nvm.bytes_in_use == 100
+
+
+def test_paper_ratio_nvm_random_write_much_slower_than_dram():
+    ratio = DRAM_PROFILE.rand_write_bw / OPTANE_NVM_PROFILE.rand_write_bw
+    assert 5 <= ratio <= 9  # the paper says ~7x
+
+
+def test_paper_ratio_ssd_vs_nvm():
+    bw_ratio = OPTANE_NVM_PROFILE.seq_write_bw / NVME_SSD_PROFILE.seq_write_bw
+    lat_ratio = NVME_SSD_PROFILE.read_latency / OPTANE_NVM_PROFILE.read_latency
+    assert bw_ratio == pytest.approx(10.0, rel=0.01)
+    assert lat_ratio == pytest.approx(100.0, rel=0.01)

@@ -1,0 +1,85 @@
+"""Unit tests for the machine wrapper and the scaled/cost helpers."""
+
+import pytest
+
+from repro.mem.costs import CpuCostModel
+from repro.mem.profiles import OPTANE_NVM_PROFILE, scaled_profile
+from repro.mem.system import HybridMemorySystem
+
+
+def test_default_system_has_no_ssd(system):
+    assert system.ssd is None
+    assert [d.name for d in system.persistent_devices()] == ["nvm"]
+
+
+def test_with_ssd(ssd_system):
+    assert ssd_system.ssd is not None
+    names = [d.name for d in ssd_system.persistent_devices()]
+    assert names == ["nvm", "ssd"]
+
+
+def test_write_amplification_zero_without_user_writes(system):
+    system.nvm.write(1000)
+    assert system.write_amplification() == 0.0
+
+
+def test_write_amplification_ratio(system):
+    system.stats.add("user.bytes_written", 100)
+    system.nvm.write(250)
+    assert system.write_amplification() == pytest.approx(2.5)
+
+
+def test_write_amplification_includes_ssd(ssd_system):
+    ssd_system.stats.add("user.bytes_written", 100)
+    ssd_system.nvm.write(100)
+    ssd_system.ssd.write(100)
+    assert ssd_system.write_amplification() == pytest.approx(2.0)
+
+
+def test_device_usage_keys(ssd_system):
+    usage = ssd_system.device_usage()
+    assert set(usage) == {"dram", "nvm", "ssd"}
+
+
+def test_drain_background_runs_jobs(system):
+    fired = []
+    system.executor.submit(system.executor.worker("w"), 1.0, lambda: fired.append(1))
+    system.drain_background()
+    assert fired == [1]
+    assert system.now == 1.0
+
+
+def test_scaled_profile():
+    fast = scaled_profile(OPTANE_NVM_PROFILE, "fast-nvm", 2.0)
+    assert fast.seq_write_bw == OPTANE_NVM_PROFILE.seq_write_bw * 2
+    assert fast.read_latency == OPTANE_NVM_PROFILE.read_latency / 2
+    assert fast.persistent
+
+
+def test_scaled_profile_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        scaled_profile(OPTANE_NVM_PROFILE, "bad", 0)
+
+
+def test_cpu_cost_model_hops():
+    cpu = CpuCostModel()
+    assert cpu.hop_time("nvm") > cpu.hop_time("dram")
+    assert cpu.skiplist_search_time("dram", 10) == pytest.approx(
+        10 * (cpu.dram_hop + cpu.compare_cost)
+    )
+
+
+def test_cpu_serialize_faster_than_deserialize_per_byte():
+    cpu = CpuCostModel()
+    n = 1 << 20
+    assert cpu.serialize_time(n) < cpu.deserialize_time(n)
+
+
+def test_bloom_costs_positive():
+    cpu = CpuCostModel()
+    assert cpu.bloom_build_time(100) > 0
+    assert cpu.bloom_probe_time(3) == pytest.approx(
+        cpu.bloom_base_cost + 3 * cpu.bloom_probe_cost
+    )
+    # a short-circuited miss is cheaper than a full k-hash "maybe"
+    assert cpu.bloom_probe_time(2) < cpu.bloom_probe_time(11)

@@ -1,0 +1,157 @@
+"""Unit tests for arenas, WAL, and crash injection."""
+
+import pytest
+
+from repro.mem.device import Device
+from repro.mem.profiles import OPTANE_NVM_PROFILE
+from repro.persist.arena import Arena, ArenaPool
+from repro.persist.crash import CrashInjector, SimulatedCrash
+from repro.persist.wal import RECORD_HEADER_BYTES, WriteAheadLog
+
+
+@pytest.fixture
+def nvm():
+    return Device(OPTANE_NVM_PROFILE)
+
+
+# ----------------------------------------------------------------- arenas
+
+
+def test_arena_allocates_on_creation(nvm):
+    Arena(nvm, 1000)
+    assert nvm.bytes_in_use == 1000
+
+
+def test_arena_release_is_idempotent(nvm):
+    arena = Arena(nvm, 1000)
+    assert arena.release() == 1000
+    assert arena.release() == 0
+    assert nvm.bytes_in_use == 0
+
+
+def test_arena_grow_and_shrink(nvm):
+    arena = Arena(nvm, 100)
+    arena.grow(50)
+    assert arena.size == 150
+    assert nvm.bytes_in_use == 150
+    arena.shrink(120)
+    assert arena.size == 30
+    assert nvm.bytes_in_use == 30
+
+
+def test_arena_shrink_beyond_size_rejected(nvm):
+    arena = Arena(nvm, 100)
+    with pytest.raises(ValueError):
+        arena.shrink(101)
+
+
+def test_arena_operations_after_release_rejected(nvm):
+    arena = Arena(nvm, 100)
+    arena.release()
+    with pytest.raises(ValueError):
+        arena.grow(1)
+    with pytest.raises(ValueError):
+        arena.shrink(1)
+
+
+def test_arena_negative_size_rejected(nvm):
+    with pytest.raises(ValueError):
+        Arena(nvm, -1)
+
+
+def test_arena_pool_live_bytes(nvm):
+    pool = ArenaPool()
+    a = pool.create(nvm, 100)
+    pool.create(nvm, 200)
+    assert pool.live_bytes() == 300
+    a.release()
+    assert pool.live_bytes() == 200
+    pool.prune()
+    assert len(pool.arenas) == 1
+
+
+# -------------------------------------------------------------------- WAL
+
+
+def test_wal_append_charges_device_and_space(nvm):
+    wal = WriteAheadLog(nvm)
+    seconds = wal.append(1, b"key", b"value", 5)
+    expected = RECORD_HEADER_BYTES + 3 + 5
+    assert seconds > 0
+    assert nvm.bytes_written == expected
+    assert wal.live_bytes == expected
+    assert wal.record_count == 1
+
+
+def test_wal_replay_in_order(nvm):
+    wal = WriteAheadLog(nvm)
+    for i in range(5):
+        wal.append(i + 1, b"k%d" % i, b"v", 1)
+    assert [r.seq for r in wal.replay()] == [1, 2, 3, 4, 5]
+
+
+def test_wal_truncate_through(nvm):
+    wal = WriteAheadLog(nvm)
+    for i in range(5):
+        wal.append(i + 1, b"k%d" % i, b"v", 1)
+    freed = wal.truncate_through(3)
+    assert freed > 0
+    assert [r.seq for r in wal.replay()] == [4, 5]
+    assert nvm.bytes_in_use == wal.live_bytes
+
+
+def test_wal_torn_tail_stops_replay(nvm):
+    wal = WriteAheadLog(nvm)
+    for i in range(4):
+        wal.append(i + 1, b"k%d" % i, b"v", 1)
+    wal.tear_tail(2)
+    assert [r.seq for r in wal.replay()] == [1, 2]
+    assert wal.last_seq() == 2
+
+
+def test_wal_last_seq_empty(nvm):
+    assert WriteAheadLog(nvm).last_seq() is None
+
+
+# ------------------------------------------------------------------ crash
+
+
+def test_unarmed_crash_point_is_noop():
+    injector = CrashInjector()
+    injector.reach("flush.after_copy")
+    assert injector.hits("flush.after_copy") == 1
+
+
+def test_armed_point_fires_on_nth_hit():
+    injector = CrashInjector()
+    injector.arm("p", after_hits=3)
+    injector.reach("p")
+    injector.reach("p")
+    with pytest.raises(SimulatedCrash) as exc:
+        injector.reach("p")
+    assert exc.value.point == "p"
+
+
+def test_crash_point_is_single_shot():
+    injector = CrashInjector()
+    injector.arm("p")
+    with pytest.raises(SimulatedCrash):
+        injector.reach("p")
+    injector.reach("p")  # does not fire again
+
+
+def test_disarm():
+    injector = CrashInjector()
+    injector.arm("p")
+    injector.disarm("p")
+    injector.reach("p")
+    injector.arm("a")
+    injector.arm("b")
+    injector.disarm()
+    injector.reach("a")
+    injector.reach("b")
+
+
+def test_arm_validation():
+    with pytest.raises(ValueError):
+        CrashInjector().arm("p", after_hits=0)

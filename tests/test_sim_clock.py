@@ -1,0 +1,57 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_advance_moves_forward():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now == 2.0
+
+
+def test_advance_returns_new_time():
+    clock = SimClock(1.0)
+    assert clock.advance(2.0) == 3.0
+
+
+def test_advance_by_zero_is_allowed():
+    clock = SimClock(1.0)
+    assert clock.advance(0.0) == 1.0
+
+
+def test_advance_rejects_negative():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_future():
+    clock = SimClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_past_is_noop():
+    clock = SimClock(10.0)
+    clock.advance_to(5.0)
+    assert clock.now == 10.0
+
+
+def test_advance_to_same_instant_is_noop():
+    clock = SimClock(3.0)
+    assert clock.advance_to(3.0) == 3.0
+
+
+def test_repr_contains_time():
+    assert "1.5" in repr(SimClock(1.5))

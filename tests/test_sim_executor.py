@@ -1,0 +1,150 @@
+"""Unit tests for background workers and job settlement."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.executor import Executor
+
+
+@pytest.fixture
+def executor():
+    return Executor(SimClock())
+
+
+def test_worker_is_created_once(executor):
+    a = executor.worker("w")
+    b = executor.worker("w")
+    assert a is b
+    assert len(executor.workers) == 1
+
+
+def test_submit_returns_job_with_times(executor):
+    job = executor.submit(executor.worker("w"), 2.0, name="j")
+    assert job.start == 0.0
+    assert job.end == 2.0
+    assert job.duration == 2.0
+    assert not job.done
+
+
+def test_jobs_on_one_worker_serialize(executor):
+    worker = executor.worker("w")
+    first = executor.submit(worker, 1.0)
+    second = executor.submit(worker, 1.0)
+    assert second.start == first.end
+    assert second.end == 2.0
+
+
+def test_jobs_on_different_workers_overlap(executor):
+    a = executor.submit(executor.worker("a"), 1.0)
+    b = executor.submit(executor.worker("b"), 1.0)
+    assert a.start == b.start == 0.0
+
+
+def test_job_starts_no_earlier_than_clock(executor):
+    executor.clock.advance(5.0)
+    job = executor.submit(executor.worker("w"), 1.0)
+    assert job.start == 5.0
+
+
+def test_not_before_delays_start(executor):
+    job = executor.submit(executor.worker("w"), 1.0, not_before=4.0)
+    assert job.start == 4.0
+    assert job.end == 5.0
+
+
+def test_negative_duration_rejected(executor):
+    with pytest.raises(ValueError):
+        executor.submit(executor.worker("w"), -1.0)
+
+
+def test_settle_applies_only_completed_jobs(executor):
+    fired = []
+    executor.submit(executor.worker("w"), 1.0, lambda: fired.append(1))
+    executor.submit(executor.worker("w"), 1.0, lambda: fired.append(2))
+    executor.clock.advance(1.0)
+    executor.settle()
+    assert fired == [1]
+    executor.clock.advance(1.0)
+    executor.settle()
+    assert fired == [1, 2]
+
+
+def test_settle_order_is_completion_order(executor):
+    fired = []
+    executor.submit(executor.worker("slow"), 3.0, lambda: fired.append("slow"))
+    executor.submit(executor.worker("fast"), 1.0, lambda: fired.append("fast"))
+    executor.clock.advance(10.0)
+    executor.settle()
+    assert fired == ["fast", "slow"]
+
+
+def test_settle_drains_cascading_jobs(executor):
+    fired = []
+
+    def first():
+        fired.append("first")
+        executor.submit(executor.worker("w2"), 0.0, lambda: fired.append("second"))
+
+    executor.submit(executor.worker("w"), 1.0, first)
+    executor.clock.advance(1.0)
+    executor.settle()
+    assert fired == ["first", "second"]
+
+
+def test_wait_for_advances_clock_and_reports_stall(executor):
+    job = executor.submit(executor.worker("w"), 2.0)
+    stall = executor.wait_for(job)
+    assert stall == 2.0
+    assert executor.clock.now == 2.0
+    assert job.done
+
+
+def test_wait_for_completed_job_is_free(executor):
+    job = executor.submit(executor.worker("w"), 1.0)
+    executor.clock.advance(5.0)
+    executor.settle()
+    assert executor.wait_for(job) == 0.0
+
+
+def test_drain_runs_everything(executor):
+    fired = []
+    for i in range(5):
+        executor.submit(executor.worker("w"), 1.0, lambda i=i: fired.append(i))
+    end = executor.drain()
+    assert fired == [0, 1, 2, 3, 4]
+    assert end == 5.0
+    assert executor.pending == 0
+
+
+def test_next_completion(executor):
+    assert executor.next_completion() is None
+    executor.submit(executor.worker("w"), 2.5)
+    assert executor.next_completion() == 2.5
+
+
+def test_crash_reset_cancels_pending_jobs(executor):
+    fired = []
+    executor.submit(executor.worker("w"), 1.0, lambda: fired.append(1))
+    cancelled = executor.crash_reset()
+    assert cancelled == 1
+    executor.clock.advance(10.0)
+    executor.settle()
+    assert fired == []
+    assert executor.pending == 0
+
+
+def test_crash_reset_frees_workers(executor):
+    worker = executor.worker("w")
+    executor.submit(worker, 10.0)
+    executor.crash_reset()
+    assert worker.busy_until == executor.clock.now
+    job = executor.submit(worker, 1.0)
+    assert job.start == executor.clock.now
+
+
+def test_worker_accounting(executor):
+    worker = executor.worker("w")
+    executor.submit(worker, 2.0)
+    executor.submit(worker, 3.0)
+    assert worker.total_busy == 5.0
+    assert worker.jobs_run == 2

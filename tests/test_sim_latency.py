@@ -1,0 +1,98 @@
+"""Unit tests for latency recording and percentile summaries."""
+
+import pytest
+
+from repro.sim.latency import LatencyRecorder, percentile
+
+
+def test_percentile_empty():
+    assert percentile([], 99) == 0.0
+
+
+def test_percentile_nearest_rank():
+    samples = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    assert percentile(samples, 50) == 5.0
+    assert percentile(samples, 90) == 9.0
+    assert percentile(samples, 100) == 10.0
+    assert percentile(samples, 10) == 1.0
+
+
+def test_percentile_out_of_range():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_summary_basic():
+    rec = LatencyRecorder()
+    for i in range(1, 101):
+        rec.record("get", float(i), i * 1e-6)
+    s = rec.summary("get")
+    assert s.count == 100
+    assert s.p90 == pytest.approx(90e-6)
+    assert s.p99 == pytest.approx(99e-6)
+    assert s.max == pytest.approx(100e-6)
+    assert s.mean == pytest.approx(50.5e-6)
+
+
+def test_summary_p999_catches_tail():
+    rec = LatencyRecorder()
+    for i in range(999):
+        rec.record("put", float(i), 1e-6)
+    rec.record("put", 1000.0, 1.0)  # one huge stall
+    s = rec.summary("put")
+    assert s.p999 == 1.0
+    assert s.p90 == 1e-6
+
+
+def test_summary_empty():
+    s = LatencyRecorder().summary()
+    assert s.count == 0
+    assert s.mean == 0.0
+
+
+def test_kinds_and_counts():
+    rec = LatencyRecorder()
+    rec.record("get", 0.0, 1e-6)
+    rec.record("put", 0.0, 1e-6)
+    rec.record("put", 0.1, 2e-6)
+    assert rec.kinds() == ["get", "put"]
+    assert rec.count("put") == 2
+    assert rec.count() == 3
+
+
+def test_pooled_summary_across_kinds():
+    rec = LatencyRecorder()
+    rec.record("get", 0.0, 1e-6)
+    rec.record("put", 0.0, 3e-6)
+    assert rec.summary().count == 2
+    assert rec.summary().mean == pytest.approx(2e-6)
+
+
+def test_as_micros():
+    rec = LatencyRecorder()
+    rec.record("get", 0.0, 15.7e-6)
+    micros = rec.summary("get").as_micros()
+    assert micros["avg"] == pytest.approx(15.7)
+
+
+def test_series_buckets_average():
+    rec = LatencyRecorder()
+    for i in range(100):
+        rec.record("put", float(i), 1e-6 if i < 50 else 3e-6)
+    series = rec.series("put", buckets=2)
+    assert len(series) == 2
+    assert series[0][1] == pytest.approx(1e-6)
+    assert series[1][1] == pytest.approx(3e-6)
+
+
+def test_series_empty():
+    assert LatencyRecorder().series() == []
+
+
+def test_merge_from():
+    a = LatencyRecorder()
+    b = LatencyRecorder()
+    a.record("get", 0.0, 1e-6)
+    b.record("get", 1.0, 2e-6)
+    a.merge_from(b)
+    assert a.count("get") == 2

@@ -1,0 +1,62 @@
+"""Unit tests for the stats registry."""
+
+from repro.sim.stats import StatsRegistry
+
+
+def test_add_accumulates():
+    stats = StatsRegistry()
+    assert stats.add("x", 1.0) == 1.0
+    assert stats.add("x", 2.5) == 3.5
+    assert stats.get("x") == 3.5
+
+
+def test_add_default_increment():
+    stats = StatsRegistry()
+    stats.add("count")
+    stats.add("count")
+    assert stats.get("count") == 2.0
+
+
+def test_get_default():
+    stats = StatsRegistry()
+    assert stats.get("missing") == 0.0
+    assert stats.get("missing", -1.0) == -1.0
+
+
+def test_set_overwrites():
+    stats = StatsRegistry()
+    stats.add("x", 5.0)
+    stats.set("x", 1.0)
+    assert stats.get("x") == 1.0
+
+
+def test_max_keeps_running_maximum():
+    stats = StatsRegistry()
+    stats.max("peak", 3.0)
+    stats.max("peak", 1.0)
+    assert stats.get("peak") == 3.0
+    stats.max("peak", 7.0)
+    assert stats.get("peak") == 7.0
+
+
+def test_snapshot_is_a_copy():
+    stats = StatsRegistry()
+    stats.add("x", 1.0)
+    snap = stats.snapshot()
+    snap["x"] = 99.0
+    assert stats.get("x") == 1.0
+
+
+def test_contains():
+    stats = StatsRegistry()
+    assert "x" not in stats
+    stats.add("x")
+    assert "x" in stats
+
+
+def test_reset():
+    stats = StatsRegistry()
+    stats.add("x", 1.0)
+    stats.reset()
+    assert stats.get("x") == 0.0
+    assert "x" not in stats

@@ -1,0 +1,196 @@
+"""Unit tests for the multi-version skip list."""
+
+import pytest
+
+from repro.sim.rng import XorShiftRng
+from repro.skiplist.node import MAX_HEIGHT, TOMBSTONE, Node, random_height
+from repro.skiplist.skiplist import SkipList
+
+
+@pytest.fixture
+def sl():
+    return SkipList(XorShiftRng(1))
+
+
+def put(sl, key, seq, value=b"v", vbytes=10):
+    node, hops = sl.insert(key, seq, value, vbytes)
+    return node
+
+
+def test_empty_list(sl):
+    assert sl.is_empty
+    assert len(sl) == 0
+    assert sl.get(b"a") == (None, 0)
+    assert sl.key_range() is None
+
+
+def test_insert_and_get(sl):
+    put(sl, b"a", 1)
+    node, hops = sl.get(b"a")
+    assert node.key == b"a"
+    assert node.seq == 1
+    assert hops >= 0
+
+
+def test_get_missing_key(sl):
+    put(sl, b"a", 1)
+    put(sl, b"c", 2)
+    node, __ = sl.get(b"b")
+    assert node is None
+
+
+def test_versions_newest_first(sl):
+    put(sl, b"k", 1, value=b"old")
+    put(sl, b"k", 5, value=b"new")
+    put(sl, b"k", 3, value=b"mid")
+    node, __ = sl.get(b"k")
+    assert node.seq == 5
+    versions = [n.seq for n in sl.nodes()]
+    assert versions == [5, 3, 1]
+
+
+def test_snapshot_get(sl):
+    put(sl, b"k", 1, value=b"old")
+    put(sl, b"k", 5, value=b"new")
+    node, __ = sl.get(b"k", max_seq=3)
+    assert node.seq == 1
+
+
+def test_duplicate_key_seq_rejected(sl):
+    put(sl, b"k", 1)
+    with pytest.raises(ValueError):
+        put(sl, b"k", 1)
+
+
+def test_nodes_in_key_order(sl):
+    for i, key in enumerate([b"d", b"a", b"c", b"b"]):
+        put(sl, key, i + 1)
+    assert [n.key for n in sl.nodes()] == [b"a", b"b", b"c", b"d"]
+
+
+def test_items_newest_live_versions_only(sl):
+    put(sl, b"a", 1, value=b"a1")
+    put(sl, b"a", 2, value=b"a2")
+    put(sl, b"b", 3, value=TOMBSTONE, vbytes=0)
+    put(sl, b"c", 4, value=b"c1")
+    assert list(sl.items()) == [(b"a", b"a2"), (b"c", b"c1")]
+    with_tombs = list(sl.items(include_tombstones=True))
+    assert (b"b", TOMBSTONE) in with_tombs
+
+
+def test_first_ge(sl):
+    put(sl, b"b", 1)
+    put(sl, b"d", 2)
+    node, __ = sl.first_ge(b"c")
+    assert node.key == b"d"
+    node, __ = sl.first_ge(b"b")
+    assert node.key == b"b"
+    node, __ = sl.first_ge(b"e")
+    assert node is None
+
+
+def test_key_range(sl):
+    for i, key in enumerate([b"m", b"a", b"z", b"q"]):
+        put(sl, key, i + 1)
+    assert sl.key_range() == (b"a", b"z")
+
+
+def test_data_bytes_accounting(sl):
+    node = put(sl, b"abc", 1, vbytes=100)
+    assert sl.data_bytes == node.nbytes
+    assert node.nbytes == 3 + 100 + 64  # key + value + overhead
+
+
+def test_unlink_moves_bytes_to_garbage(sl):
+    node = put(sl, b"a", 1)
+    preds = sl.predecessors_of(node)
+    sl.unlink(node, preds)
+    assert sl.is_empty
+    assert sl.data_bytes == 0
+    assert sl.garbage_bytes == node.nbytes
+    assert sl.footprint_bytes == node.nbytes
+    assert sl.reclaim_garbage() == node.nbytes
+    assert sl.footprint_bytes == 0
+
+
+def test_unlink_without_garbage(sl):
+    node = put(sl, b"a", 1)
+    sl.unlink(node, sl.predecessors_of(node), to_garbage=False)
+    assert sl.garbage_bytes == 0
+
+
+def test_unlink_with_stale_preds_rejected(sl):
+    a = put(sl, b"a", 1)
+    put(sl, b"b", 2)
+    bad_preds = [sl.head] * MAX_HEIGHT
+    sl.unlink(a, sl.predecessors_of(a))
+    with pytest.raises(ValueError):
+        sl.unlink(a, bad_preds)
+
+
+def test_predecessors_of_unlinked_node_rejected(sl):
+    a = put(sl, b"a", 1)
+    sl.unlink(a, sl.predecessors_of(a))
+    with pytest.raises(ValueError):
+        sl.predecessors_of(a)
+
+
+def test_update_in_place(sl):
+    node = put(sl, b"a", 1, value=b"old", vbytes=10)
+    delta = sl.update_in_place(node, 5, b"new", 30)
+    assert delta == 20
+    assert node.seq == 5
+    assert node.value == b"new"
+    assert sl.data_bytes == node.nbytes
+
+
+def test_update_in_place_rejects_multiversion(sl):
+    put(sl, b"a", 2)
+    node, __ = sl.get(b"a")
+    put(sl, b"a", 1)
+    newest, __ = sl.get(b"a")
+    with pytest.raises(ValueError):
+        sl.update_in_place(newest, 9, b"x", 1)
+
+
+def test_update_in_place_rejects_seq_regression(sl):
+    node = put(sl, b"a", 5)
+    with pytest.raises(ValueError):
+        sl.update_in_place(node, 4, b"x", 1)
+
+
+def test_random_height_distribution():
+    rng = XorShiftRng(7)
+    heights = [random_height(rng) for _ in range(4000)]
+    assert min(heights) == 1
+    assert max(heights) <= MAX_HEIGHT
+    ones = sum(1 for h in heights if h == 1)
+    assert 0.65 < ones / len(heights) < 0.85  # P(h=1) = 3/4
+
+
+def test_node_height_bounds():
+    with pytest.raises(ValueError):
+        Node(b"k", 1, b"v", 10, 0)
+    with pytest.raises(ValueError):
+        Node(b"k", 1, b"v", 10, MAX_HEIGHT + 1)
+
+
+def test_precedes_ordering():
+    a1 = Node(b"a", 1, b"v", 10, 1)
+    assert a1.precedes(b"b", 0)
+    assert not a1.precedes(b"a", 5)  # seq 1 sorts after seq 5
+    assert a1.precedes(b"a", 0)
+
+
+def test_large_insert_lookup_roundtrip(sl):
+    keys = [b"k%04d" % i for i in range(500)]
+    rng = XorShiftRng(13)
+    order = list(range(500))
+    rng.shuffle(order)
+    for seq, idx in enumerate(order, start=1):
+        put(sl, keys[idx], seq)
+    assert len(sl) == 500
+    for key in keys:
+        node, __ = sl.get(key)
+        assert node is not None and node.key == key
+    assert [n.key for n in sl.nodes()] == sorted(keys)

@@ -1,0 +1,144 @@
+"""Unit tests for zero-copy merging (paper Section 4.3)."""
+
+import pytest
+
+from repro.sim.rng import XorShiftRng
+from repro.skiplist.merge import ZeroCopyMerge
+from repro.skiplist.node import TOMBSTONE
+from repro.skiplist.skiplist import SkipList
+
+
+def make(entries, seed=1):
+    sl = SkipList(XorShiftRng(seed))
+    for key, seq, value in entries:
+        sl.insert(key, seq, value, 10)
+    return sl
+
+
+def test_merge_disjoint_tables():
+    old = make([(b"a", 1, b"a1"), (b"c", 2, b"c1")])
+    new = make([(b"b", 3, b"b1"), (b"d", 4, b"d1")], seed=2)
+    merge = ZeroCopyMerge(new, old).run()
+    assert merge.done
+    assert new.is_empty
+    assert [n.key for n in old.nodes()] == [b"a", b"b", b"c", b"d"]
+    assert merge.nodes_moved == 2
+    assert merge.nodes_dropped == 0
+
+
+def test_merge_keeps_newest_version():
+    old = make([(b"k", 1, b"old")])
+    new = make([(b"k", 9, b"new")], seed=2)
+    merge = ZeroCopyMerge(new, old).run()
+    node, __ = old.get(b"k")
+    assert node.seq == 9
+    assert node.value == b"new"
+    assert merge.nodes_dropped == 1
+    assert old.entries == 1
+
+
+def test_merge_drops_duplicates_within_newtable():
+    # Paper Figure 5(c): N_d7 shadows N_d5 inside the newtable too.
+    old = make([(b"d", 3, b"d3"), (b"d", 4, b"d4")])
+    new = make([(b"d", 7, b"d7"), (b"d", 5, b"d5")], seed=2)
+    merge = ZeroCopyMerge(new, old).run()
+    assert old.entries == 1
+    node, __ = old.get(b"d")
+    assert node.seq == 7
+    assert merge.nodes_dropped == 3  # d5 (new side), d4 and d3 (old side)
+
+
+def test_merge_moves_garbage_accounting_to_old():
+    old = make([(b"k", 1, b"old")])
+    new = make([(b"k", 9, b"new"), (b"k", 5, b"mid")], seed=2)
+    ZeroCopyMerge(new, old).run()
+    assert new.garbage_bytes == 0
+    # one dup dropped on the new side, one on the old side
+    assert old.garbage_bytes > 0
+    assert old.entries == 1
+
+
+def test_merge_counts_pointer_writes_not_bytes():
+    old = make([(b"a", 1, b"x")])
+    new = make([(b"b", 2, b"y")], seed=2)
+    merge = ZeroCopyMerge(new, old).run()
+    # unlink from new (height) + splice into old (height)
+    assert merge.pointer_writes >= 2
+    assert merge.search_hops >= 0
+
+
+def test_merge_empty_newtable_is_immediately_done():
+    old = make([(b"a", 1, b"x")])
+    new = SkipList(XorShiftRng(3))
+    merge = ZeroCopyMerge(new, old)
+    assert merge.step() is False
+    assert merge.done
+
+
+def test_merge_into_empty_oldtable():
+    old = SkipList(XorShiftRng(3))
+    new = make([(b"a", 1, b"x"), (b"b", 2, b"y")], seed=2)
+    ZeroCopyMerge(new, old).run()
+    assert [n.key for n in old.nodes()] == [b"a", b"b"]
+
+
+def test_stepwise_merge_is_resumable():
+    old = make([(b"a", 1, b"x"), (b"c", 3, b"z")])
+    new = make([(b"b", 2, b"y"), (b"d", 4, b"w")], seed=2)
+    merge = ZeroCopyMerge(new, old)
+    assert merge.step() is True  # b moved, d remains
+    assert old.entries == 3
+    assert new.entries == 1
+    merge.run()
+    assert merge.done
+    assert old.entries == 4
+
+
+def test_query_mid_merge_sees_in_flight_node():
+    old = make([(b"a", 1, b"x")])
+    new = make([(b"b", 2, b"y"), (b"c", 3, b"z")], seed=2)
+    merge = ZeroCopyMerge(new, old)
+    # Simulate the insertion-mark window by hand: unlink b from new but
+    # query before the step completes -- get() must still find every key.
+    merge.step()
+    for key in (b"a", b"b", b"c"):
+        node, __ = merge.get(key)
+        assert node is not None, key
+
+
+def test_query_respects_snapshot_across_tables():
+    old = make([(b"k", 1, b"v1")])
+    new = make([(b"k", 9, b"v9")], seed=2)
+    merge = ZeroCopyMerge(new, old)
+    node, __ = merge.get(b"k", max_seq=5)
+    assert node.seq == 1
+    node, __ = merge.get(b"k")
+    assert node.seq == 9
+
+
+def test_merge_preserves_tombstones():
+    old = make([(b"k", 1, b"v1")])
+    new = SkipList(XorShiftRng(5))
+    new.insert(b"k", 9, TOMBSTONE, 0)
+    ZeroCopyMerge(new, old).run()
+    node, __ = old.get(b"k")
+    assert node.is_tombstone  # shadowing delete survives the merge
+
+
+def test_merge_interleaved_runs():
+    old = make([(b"b", 1, b"b1"), (b"d", 2, b"d1"), (b"f", 3, b"f1")])
+    new = make([(b"a", 4, b"a1"), (b"c", 5, b"c1"), (b"e", 6, b"e1"),
+                (b"g", 7, b"g1")], seed=2)
+    ZeroCopyMerge(new, old).run()
+    assert [n.key for n in old.nodes()] == [b"a", b"b", b"c", b"d", b"e", b"f", b"g"]
+
+
+def test_merged_result_supports_further_merges():
+    t1 = make([(b"a", 1, b"v")])
+    t2 = make([(b"b", 2, b"v")], seed=2)
+    t3 = make([(b"a", 3, b"v2"), (b"c", 4, b"v")], seed=3)
+    ZeroCopyMerge(t2, t1).run()
+    ZeroCopyMerge(t3, t1).run()
+    assert [n.key for n in t1.nodes()] == [b"a", b"b", b"c"]
+    node, __ = t1.get(b"a")
+    assert node.seq == 3

@@ -1,0 +1,147 @@
+"""Unit tests for SSTables: building, reading, merging."""
+
+import pytest
+
+from repro.mem.costs import CpuCostModel
+from repro.mem.device import Device
+from repro.mem.profiles import OPTANE_NVM_PROFILE
+from repro.skiplist.node import TOMBSTONE
+from repro.sstable.merge import merge_entry_streams, merge_tables
+from repro.sstable.table import SSTable, build_sstable, entry_frame_bytes
+
+
+@pytest.fixture
+def nvm():
+    return Device(OPTANE_NVM_PROFILE)
+
+
+@pytest.fixture
+def cpu():
+    return CpuCostModel()
+
+
+def entries_for(keys, start_seq=1, vbytes=100):
+    return [(k, start_seq + i, b"v-" + k, vbytes) for i, k in enumerate(keys)]
+
+
+def test_build_charges_serialize_and_write(nvm, cpu):
+    entries = entries_for([b"a", b"b", b"c"])
+    table, seconds = build_sstable(entries, nvm, cpu)
+    assert seconds > 0
+    assert nvm.bytes_written == table.data_bytes
+    assert nvm.bytes_in_use == table.data_bytes
+
+
+def test_empty_table_rejected(nvm):
+    with pytest.raises(ValueError):
+        SSTable([], nvm)
+
+
+def test_unsorted_entries_rejected(nvm):
+    with pytest.raises(ValueError):
+        SSTable([(b"b", 1, b"v", 10), (b"a", 2, b"v", 10)], nvm)
+
+
+def test_same_key_must_be_seq_descending(nvm):
+    SSTable([(b"a", 5, b"v", 10), (b"a", 2, b"v", 10)], nvm)
+    with pytest.raises(ValueError):
+        SSTable([(b"a", 2, b"v", 10), (b"a", 5, b"v", 10)], nvm)
+
+
+def test_get_hit_and_miss(nvm, cpu):
+    table = SSTable(entries_for([b"a", b"c"]), nvm)
+    entry, cost = table.get(b"a", cpu)
+    assert entry[0] == b"a"
+    assert cost > 0
+    entry, cost = table.get(b"b", cpu)
+    assert entry is None
+    assert cost > 0  # a miss still reads a block
+
+
+def test_get_returns_newest_version(nvm, cpu):
+    table = SSTable([(b"a", 9, b"new", 10), (b"a", 1, b"old", 10)], nvm)
+    entry, __ = table.get(b"a", cpu)
+    assert entry[1] == 9
+
+
+def test_min_max_and_overlap(nvm):
+    table = SSTable(entries_for([b"c", b"f"]), nvm)
+    assert table.min_key == b"c"
+    assert table.max_key == b"f"
+    assert table.overlaps(b"a", b"c")
+    assert table.overlaps(b"d", b"e")
+    assert not table.overlaps(b"g", b"z")
+    assert not table.overlaps(b"a", b"b")
+
+
+def test_release_frees_space_once(nvm):
+    table = SSTable(entries_for([b"a"]), nvm)
+    size = table.data_bytes
+    assert table.release() == size
+    assert table.release() == 0
+    assert nvm.bytes_in_use == 0
+
+
+def test_read_after_release_rejected(nvm, cpu):
+    table = SSTable(entries_for([b"a"]), nvm)
+    table.release()
+    with pytest.raises(ValueError):
+        table.get(b"a", cpu)
+    with pytest.raises(ValueError):
+        table.scan_all(cpu)
+
+
+def test_scan_all_charges_sequential_read(nvm, cpu):
+    table = SSTable(entries_for([b"a", b"b"]), nvm)
+    nvm.reset_counters()
+    entries, seconds = table.scan_all(cpu)
+    assert len(entries) == 2
+    assert nvm.bytes_read == table.data_bytes
+    assert seconds > 0
+
+
+def test_entry_frame_bytes():
+    assert entry_frame_bytes((b"abc", 1, b"v", 100)) == 3 + 100 + 24
+
+
+# ------------------------------------------------------------------ merging
+
+
+def test_merge_streams_dedups_by_newest():
+    a = [(b"k", 5, b"new", 10)]
+    b = [(b"k", 1, b"old", 10)]
+    merged = list(merge_entry_streams([a, b]))
+    assert merged == [(b"k", 5, b"new", 10)]
+
+
+def test_merge_streams_keeps_all_versions_when_asked():
+    a = [(b"k", 5, b"new", 10)]
+    b = [(b"k", 1, b"old", 10)]
+    merged = list(merge_entry_streams([a, b], drop_shadowed=False))
+    assert [e[1] for e in merged] == [5, 1]
+
+
+def test_merge_streams_drop_tombstones():
+    a = [(b"k", 5, TOMBSTONE, 0)]
+    b = [(b"k", 1, b"old", 10), (b"x", 2, b"keep", 10)]
+    merged = list(
+        merge_entry_streams([a, b], drop_tombstones=True, tombstone=TOMBSTONE)
+    )
+    assert merged == [(b"x", 2, b"keep", 10)]
+
+
+def test_merge_streams_global_order():
+    a = entries_for([b"a", b"c", b"e"], start_seq=1)
+    b = entries_for([b"b", b"d"], start_seq=10)
+    merged = list(merge_entry_streams([a, b]))
+    assert [e[0] for e in merged] == [b"a", b"b", b"c", b"d", b"e"]
+
+
+def test_merge_tables(nvm):
+    t1 = SSTable(entries_for([b"a", b"c"], start_seq=1), nvm)
+    t2 = SSTable(entries_for([b"b", b"c"], start_seq=10), nvm)
+    merged = merge_tables([t1, t2])
+    keys = [e[0] for e in merged]
+    assert keys == [b"a", b"b", b"c"]
+    c_entry = merged[2]
+    assert c_entry[1] >= 10  # t2's newer version of c wins

@@ -1,0 +1,71 @@
+"""Tests for the job tracer."""
+
+from repro.core import MioDB, MioOptions
+from repro.kvstore.values import SizedValue
+from repro.mem.system import HybridMemorySystem
+from repro.sim.tracing import JobTracer
+
+KB = 1 << 10
+
+
+def test_tracer_records_spans(system):
+    tracer = JobTracer(system.executor)
+    worker = system.executor.worker("w")
+    system.executor.submit(worker, 1.0, name="job-a")
+    system.executor.submit(worker, 2.0, name="job-b")
+    assert len(tracer.spans) == 2
+    assert tracer.spans[0] == ("w", "job-a", 0.0, 1.0)
+    assert tracer.busy_time() == 3.0
+    assert tracer.busy_time("w") == 3.0
+    assert tracer.busy_time("other") == 0.0
+
+
+def test_tracer_detach(system):
+    tracer = JobTracer(system.executor)
+    tracer.detach()
+    system.executor.submit(system.executor.worker("w"), 1.0)
+    assert tracer.spans == []
+
+
+def test_max_concurrency(system):
+    tracer = JobTracer(system.executor)
+    for i in range(3):
+        system.executor.submit(system.executor.worker(f"w{i}"), 1.0)
+    system.executor.submit(system.executor.worker("w0"), 1.0)  # serialized
+    assert tracer.max_concurrency() == 3
+
+
+def test_empty_gantt(system):
+    assert "no jobs" in JobTracer(system.executor).gantt()
+
+
+def test_gantt_renders_rows(system):
+    tracer = JobTracer(system.executor)
+    system.executor.submit(system.executor.worker("alpha"), 1.0)
+    system.executor.submit(system.executor.worker("beta"), 1.0)
+    chart = tracer.gantt(width=20)
+    assert "alpha" in chart and "beta" in chart
+    assert "#" in chart
+
+
+def test_concurrency_profile(system):
+    tracer = JobTracer(system.executor)
+    system.executor.submit(system.executor.worker("a"), 2.0)
+    system.executor.submit(system.executor.worker("b"), 2.0)
+    profile = tracer.concurrency_profile(samples=10)
+    assert profile
+    assert max(running for __, running in profile) == 2
+
+
+def test_miodb_parallel_compaction_visible_in_trace():
+    system = HybridMemorySystem()
+    tracer = JobTracer(system.executor)
+    store = MioDB(system, MioOptions(memtable_bytes=8 * KB, num_levels=5))
+    for i in range(2000):
+        store.put(b"key%06d" % ((i * 7919) % 2000), SizedValue(i, 512))
+    store.quiesce()
+    # parallel per-level compaction: more than two background jobs overlap
+    assert tracer.max_concurrency() >= 3
+    workers = {w for w, __n, __s, __e in tracer.spans}
+    assert any("compact-L" in w for w in workers)
+    assert "miodb-flush" in workers
