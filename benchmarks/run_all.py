@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Regenerate every figure/table artifact, fanned across processes.
+
+Thin wrapper over :mod:`repro.bench.parallel`; run it from anywhere::
+
+    python benchmarks/run_all.py --jobs 8
+    REPRO_BENCH_SCALE=large python benchmarks/run_all.py
+
+Each benchmark file gets its own pytest subprocess (every benchmark
+already builds its own simulated machine, so the files are independent)
+and rewrites its ``benchmarks/results/<artifact>.txt``.
+"""
+
+import pathlib
+import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.bench.parallel import build_parser, run_suite  # noqa: E402
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    bench_dir = args.bench_dir or pathlib.Path(__file__).resolve().parent
+    failures, __, __ = run_suite(bench_dir, args.jobs, args.match)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,7 @@ def run_latency_series(scale):
         window = [
             (at, lat)
             for kind in system.latency.kinds()
-            for at, lat in system.latency._samples[kind]
+            for at, lat in system.latency.samples_since(kind, 0)
         ]
         window.sort()
         window = window[marker:]

@@ -50,6 +50,28 @@ def make_store(
     ``overrides`` are applied to the store's options dataclass -- e.g.
     ``make_store("miodb", num_levels=4)``.
     """
+    if not isinstance(name, str):
+        raise TypeError(
+            f"store name must be a str, got {type(name).__name__}; "
+            f"choose from {STORE_NAMES}"
+        )
+    if scale is not None and not isinstance(scale, BenchScale):
+        # The classic mistake is passing the system positionally where
+        # the scale goes; without this check it surfaces much later as
+        # an AttributeError deep inside option construction.
+        hint = (
+            " (did you mean make_store(name, system=...)?)"
+            if isinstance(scale, HybridMemorySystem)
+            else ""
+        )
+        raise TypeError(
+            f"scale must be a BenchScale or None, got {type(scale).__name__}{hint}"
+        )
+    if system is not None and not isinstance(system, HybridMemorySystem):
+        raise TypeError(
+            f"system must be a HybridMemorySystem or None, "
+            f"got {type(system).__name__}"
+        )
     scale = scale or BenchScale()
     system = system or make_system(ssd=ssd)
     common = dict(memtable_bytes=scale.memtable_bytes,

@@ -1,0 +1,148 @@
+"""Parallel regeneration of the figure/table benchmark suite.
+
+Every file under ``benchmarks/`` regenerates one paper artifact against
+its own fresh :class:`HybridMemorySystem`, so the files are mutually
+independent and embarrassingly parallel.  This module fans them across a
+``concurrent.futures.ProcessPoolExecutor`` (one pytest subprocess per
+file -- full isolation, no shared interpreter state) and reports
+per-file wall time plus the aggregate speedup over serial execution.
+
+Entry points::
+
+    python -m repro bench --jobs 8
+    python benchmarks/run_all.py --jobs 8
+"""
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import List, Optional, Tuple
+
+
+def discover(bench_dir: pathlib.Path, match: str = "") -> List[str]:
+    """Benchmark files (``test_*.py``) in ``bench_dir``, optionally filtered."""
+    names = sorted(p.name for p in bench_dir.glob("test_*.py"))
+    if match:
+        names = [n for n in names if match in n]
+    return names
+
+
+def run_one(bench_dir: str, filename: str) -> Tuple[str, int, float, str]:
+    """Run one benchmark file in a pytest subprocess.
+
+    Top-level (picklable) so a ``ProcessPoolExecutor`` can ship it to a
+    worker.  Returns ``(filename, returncode, wall_seconds, tail)``
+    where ``tail`` is the last part of captured output for diagnostics.
+    """
+    directory = pathlib.Path(bench_dir)
+    src = str(directory.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(directory / filename),
+            "-q",
+            "-p",
+            "no:cacheprovider",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(directory.parent),
+    )
+    wall = time.perf_counter() - t0
+    tail = (proc.stdout[-2000:] + proc.stderr[-2000:]) if proc.returncode else ""
+    return filename, proc.returncode, wall, tail
+
+
+def run_suite(
+    bench_dir: pathlib.Path, jobs: int, match: str = ""
+) -> Tuple[int, float, float]:
+    """Fan the suite across ``jobs`` workers.
+
+    Returns ``(failures, wall_seconds, serial_seconds)`` where
+    ``serial_seconds`` is the sum of per-file times (what a serial run
+    would have cost, ignoring interpreter startup savings).
+    """
+    names = discover(bench_dir, match)
+    if not names:
+        print(f"no benchmark files matching {match!r} under {bench_dir}")
+        return 0, 0.0, 0.0
+    jobs = max(1, min(jobs, len(names)))
+    print(f"regenerating {len(names)} artifacts with {jobs} worker(s)")
+    failures = 0
+    serial = 0.0
+    t0 = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(run_one, str(bench_dir), name): name for name in names
+        }
+        for future in as_completed(futures):
+            filename, code, wall, tail = future.result()
+            serial += wall
+            status = "ok" if code == 0 else f"FAIL rc={code}"
+            print(f"  {filename:<40} {wall:7.2f}s  {status}")
+            if code != 0:
+                failures += 1
+                if tail.strip():
+                    print(tail)
+    total = time.perf_counter() - t0
+    print(
+        f"done in {total:.2f}s wall ({serial:.2f}s of benchmark work, "
+        f"{serial / total:.2f}x parallel speedup); {failures} failure(s)"
+    )
+    return failures, total, serial
+
+
+def default_bench_dir() -> pathlib.Path:
+    """``benchmarks/`` next to the repo's ``src`` tree (or under cwd)."""
+    here = pathlib.Path(__file__).resolve()
+    for base in (here.parents[3], pathlib.Path.cwd()):
+        candidate = base / "benchmarks"
+        if candidate.is_dir():
+            return candidate
+    return pathlib.Path.cwd() / "benchmarks"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="regenerate all figure/table artifacts in parallel",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=os.cpu_count() or 1,
+        help="worker processes (default: CPU count)",
+    )
+    parser.add_argument(
+        "--match", default="",
+        help="only run benchmark files whose name contains this substring",
+    )
+    parser.add_argument(
+        "--bench-dir", type=pathlib.Path, default=None,
+        help="benchmarks directory (default: autodetected)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    bench_dir = args.bench_dir or default_bench_dir()
+    if not bench_dir.is_dir():
+        print(f"benchmarks directory not found: {bench_dir}", file=sys.stderr)
+        return 2
+    failures, __, __ = run_suite(bench_dir, args.jobs, args.match)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

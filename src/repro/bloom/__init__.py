@@ -7,6 +7,12 @@ the same size and hash family.
 """
 
 from repro.bloom.filter import BloomFilter
-from repro.bloom.hashing import double_hashes, fnv1a_64
+from repro.bloom.hashing import double_hashes, fnv1a_64, fnv1a_pair, probe_positions
 
-__all__ = ["BloomFilter", "double_hashes", "fnv1a_64"]
+__all__ = [
+    "BloomFilter",
+    "double_hashes",
+    "fnv1a_64",
+    "fnv1a_pair",
+    "probe_positions",
+]

@@ -3,7 +3,13 @@
 import math
 from typing import Iterable
 
-from repro.bloom.hashing import double_hashes
+from repro.bloom.hashing import probe_positions
+
+try:  # int.bit_count is 3.10+; fall back on the str-based popcount
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - exercised only on 3.9
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
 
 
 class BloomFilter:
@@ -16,7 +22,7 @@ class BloomFilter:
     effect that caps the useful number of levels at ~8 in Figure 9.
     """
 
-    __slots__ = ("nbits", "k", "_bits", "added")
+    __slots__ = ("nbits", "k", "_bits", "added", "_ones")
 
     def __init__(self, nbits: int, k: int) -> None:
         if nbits <= 0:
@@ -27,6 +33,10 @@ class BloomFilter:
         self.k = k
         self._bits = 0
         self.added = 0
+        # Cached popcount of _bits; every query probe consults the
+        # saturation, so recounting a multi-thousand-bit integer per get
+        # dominated the read path.  Invalidated on every mutation.
+        self._ones = 0
 
     @classmethod
     def for_capacity(cls, nkeys: int, bits_per_key: int = 16) -> "BloomFilter":
@@ -40,19 +50,36 @@ class BloomFilter:
 
     def add(self, key: bytes) -> None:
         """Insert ``key``."""
-        for pos in double_hashes(key, self.k, self.nbits):
-            self._bits |= 1 << pos
+        bits = self._bits
+        for pos in probe_positions(key, self.k, self.nbits):
+            bits |= 1 << pos
+        self._bits = bits
+        self._ones = None
         self.added += 1
 
-    def add_all(self, keys: Iterable[bytes]) -> None:
-        """Insert every key in ``keys``."""
+    def add_all(self, keys: Iterable[bytes]) -> int:
+        """Insert every key in ``keys``; returns how many were added.
+
+        Batched: the filter word is updated once at the end instead of
+        per key (building a PMTable filter adds thousands of keys).
+        """
+        k, nbits = self.k, self.nbits
+        bits = self._bits
+        count = 0
         for key in keys:
-            self.add(key)
+            for pos in probe_positions(key, k, nbits):
+                bits |= 1 << pos
+            count += 1
+        self._bits = bits
+        self._ones = None
+        self.added += count
+        return count
 
     def may_contain(self, key: bytes) -> bool:
         """False means definitely absent; True means possibly present."""
-        for pos in double_hashes(key, self.k, self.nbits):
-            if not (self._bits >> pos) & 1:
+        bits = self._bits
+        for pos in probe_positions(key, self.k, self.nbits):
+            if not (bits >> pos) & 1:
                 return False
         return True
 
@@ -64,12 +91,15 @@ class BloomFilter:
                 f"({self.nbits},{self.k}) vs ({other.nbits},{other.k})"
             )
         self._bits |= other._bits
+        self._ones = None
         self.added += other.added
 
     @property
     def saturation(self) -> float:
         """Fraction of bits set (drives the false-positive estimate)."""
-        return bin(self._bits).count("1") / self.nbits
+        if self._ones is None:
+            self._ones = _popcount(self._bits)
+        return self._ones / self.nbits
 
     def false_positive_rate(self) -> float:
         """Estimated FP rate from current saturation: (bits_set/m)^k."""

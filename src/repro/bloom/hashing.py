@@ -2,13 +2,26 @@
 
 Double hashing (Kirsch & Mitzenmacher) derives k probe positions from two
 independent 64-bit hashes, matching what LevelDB-family filters do.
+
+The probe positions are pure functions of ``(key, k, nbits)`` and every
+filter in a store shares one geometry (so compaction can OR-merge them),
+so the positions are memoised: a get that probes eight PMTables hashes
+the key once, not eight times.  The hash values themselves are pinned --
+optimizing this module must never change a probe position, or simulated
+false-positive behaviour (and every figure) would shift.
 """
 
+from functools import lru_cache
 from typing import List
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _MASK64 = (1 << 64) - 1
+
+# fnv1a_64 seeds its state as OFFSET ^ (seed * golden-ratio); the two
+# probe hashes always use seeds 1 and 2, so their offsets are constants.
+_OFFSET_SEED1 = _FNV_OFFSET ^ (1 * 0x9E3779B97F4A7C15 & _MASK64)
+_OFFSET_SEED2 = _FNV_OFFSET ^ (2 * 0x9E3779B97F4A7C15 & _MASK64)
 
 
 def fnv1a_64(data: bytes, seed: int = 0) -> int:
@@ -20,10 +33,32 @@ def fnv1a_64(data: bytes, seed: int = 0) -> int:
     return h
 
 
-def double_hashes(key: bytes, k: int, nbits: int) -> List[int]:
-    """``k`` probe positions in ``[0, nbits)`` for ``key``."""
+def fnv1a_pair(data: bytes) -> "tuple":
+    """Both probe hashes (seeds 1 and 2) in a single pass over ``data``.
+
+    Bit-identical to ``(fnv1a_64(data, 1), fnv1a_64(data, 2))`` but
+    walks the key bytes once instead of twice.
+    """
+    h1 = _OFFSET_SEED1
+    h2 = _OFFSET_SEED2
+    prime = _FNV_PRIME
+    mask = _MASK64
+    for byte in data:
+        h1 = ((h1 ^ byte) * prime) & mask
+        h2 = ((h2 ^ byte) * prime) & mask
+    return h1, h2
+
+
+@lru_cache(maxsize=1 << 16)
+def probe_positions(key: bytes, k: int, nbits: int) -> "tuple":
+    """Memoised ``k`` probe positions in ``[0, nbits)`` for ``key``."""
     if nbits <= 0:
         raise ValueError(f"nbits must be positive, got {nbits}")
-    h1 = fnv1a_64(key, seed=1)
-    h2 = fnv1a_64(key, seed=2) | 1  # odd stride hits all positions
-    return [((h1 + i * h2) & _MASK64) % nbits for i in range(k)]
+    h1, h2 = fnv1a_pair(key)
+    h2 |= 1  # odd stride hits all positions
+    return tuple(((h1 + i * h2) & _MASK64) % nbits for i in range(k))
+
+
+def double_hashes(key: bytes, k: int, nbits: int) -> List[int]:
+    """``k`` probe positions in ``[0, nbits)`` for ``key``."""
+    return list(probe_positions(key, k, nbits))

@@ -6,6 +6,8 @@ Run workloads against any store in the library from a shell::
     python -m repro ycsb --store all --workloads A,C --records 4096
     python -m repro compare
     python -m repro info
+    python -m repro perf --label after-change
+    python -m repro bench --jobs 8
 
 Every run is deterministic (simulated time); throughput and latency
 numbers are directly comparable across stores and invocations.
@@ -142,6 +144,31 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    """Wall-clock microbenchmark kernels -> BENCH_perf.json."""
+    from repro.bench import perf
+
+    argv = [
+        "--label", args.label, "--store", args.perf_store,
+        "--ops-scale", args.ops_scale, "--repeats", str(args.repeats),
+        "--kernels", args.kernels, "--json", args.json,
+    ]
+    return perf.main(argv)
+
+
+def cmd_bench(args) -> int:
+    """Parallel regeneration of every figure/table artifact."""
+    import os
+
+    from repro.bench import parallel
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    argv = ["--jobs", str(jobs), "--match", args.match]
+    if args.bench_dir:
+        argv += ["--bench-dir", args.bench_dir]
+    return parallel.main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MioDB reproduction workload runner"
@@ -170,6 +197,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="stores, device profiles, scaling")
     p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser(
+        "perf", help="simulator wall-clock kernels (perf trajectory)"
+    )
+    p.add_argument("--label", default="current")
+    p.add_argument("--perf-store", default="miodb", metavar="STORE")
+    p.add_argument("--ops-scale", choices=["tiny", "default"], default="default")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--kernels", default="put,get,scan,flush,compact")
+    p.add_argument("--json", default="BENCH_perf.json")
+    p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser(
+        "bench", help="regenerate all figure/table artifacts in parallel"
+    )
+    p.add_argument("--jobs", "-j", type=int, default=None)
+    p.add_argument("--match", default="")
+    p.add_argument("--bench-dir", default=None)
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -117,35 +117,53 @@ class MioDB(KVStore):
         bloom = None
         if self.options.use_blooms:
             bloom = self._make_bloom(len(table.skiplist))
-            for node in table.skiplist.nodes():
-                bloom.add(node.key)
         pmtable = PMTable(self.system, table.skiplist, [arena], bloom, level=0)
         self._inflight_pmtable = pmtable
 
+        # One pass over the table's nodes gathers everything the flush
+        # needs -- bloom keys, pointer count, entry count, and the WAL
+        # truncation horizon (previously three separate iterations).
+        # An empty table (never produced by the put path, which only
+        # rotates a *full* MemTable, but reachable via direct calls)
+        # degenerates to last_seq = self.seq and a zero-work flush.
+        entries = 0
+        pointers = 0
+        last_seq = None
         if self.options.one_piece_flush:
+            for node in table.skiplist.nodes():
+                entries += 1
+                pointers += node.height
+                if last_seq is None or node.seq > last_seq:
+                    last_seq = node.seq
+                if bloom is not None:
+                    bloom.add(node.key)
             copy_seconds = self.system.dram.read(table.capacity_bytes, sequential=True)
             copy_seconds += self.system.nvm.write(
                 table.capacity_bytes, sequential=True
             )
-            nodes = list(table.skiplist.nodes())
-            pointers = sum(n.height for n in nodes)
             swizzle_seconds = 0.0
             if pointers:
                 swizzle_seconds += self.system.nvm.write(
                     8 * pointers, sequential=False
                 )
                 swizzle_seconds += (pointers - 1) * self.system.nvm.profile.write_latency
-            swizzle_seconds += self.system.cpu.bloom_build_time(len(nodes))
+            swizzle_seconds += self.system.cpu.bloom_build_time(entries)
         else:
             # Ablation: NoveLSM-style per-KV copy+insert into NVM.
             copy_seconds = 0.0
             for node in table.skiplist.nodes():
+                entries += 1
+                if last_seq is None or node.seq > last_seq:
+                    last_seq = node.seq
+                if bloom is not None:
+                    bloom.add(node.key)
                 hops = max(1, node.height * 3)
                 copy_seconds += self.system.cpu.skiplist_search_time("nvm", hops)
                 copy_seconds += self.system.nvm.write(node.nbytes, sequential=False)
-            swizzle_seconds = self.system.cpu.bloom_build_time(len(table.skiplist))
+            swizzle_seconds = self.system.cpu.bloom_build_time(entries)
 
-        last_seq = max((n.seq for n in table.skiplist.nodes()), default=self.seq)
+        if last_seq is None:
+            last_seq = self.seq
 
         def copy_done() -> None:
             self.crash.reach("flush.after_copy")

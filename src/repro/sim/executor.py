@@ -181,8 +181,18 @@ class Executor:
         return sum(1 for __, __, job in self._heap if not job.cancelled)
 
     def next_completion(self) -> Optional[float]:
-        """End time of the earliest pending job, or ``None`` when idle."""
-        for end, __, job in sorted(self._heap):
-            if not job.cancelled:
-                return end
+        """End time of the earliest pending job, or ``None`` when idle.
+
+        Lazy deletion: cancelled jobs found at the heap top are popped
+        on the spot (their effects were already discarded), so the peek
+        is O(1) amortised rather than sorting the whole heap -- this
+        sits on the buffer-cap stall path, which calls it per stall.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2].cancelled:
+                heapq.heappop(heap)
+                continue
+            return entry[0]
         return None

@@ -82,6 +82,21 @@ class LatencyRecorder:
             return len(self._samples.get(kind, ()))
         return sum(len(v) for v in self._samples.values())
 
+    def samples_since(self, kind: str, index: int) -> List[Tuple[float, float]]:
+        """The ``(at_time, latency)`` samples of ``kind`` from ``index`` on.
+
+        ``index`` is a count previously returned by :meth:`count`; the
+        slice is the samples recorded after that point.  This is the
+        supported way to window samples (phase measurement) without
+        reaching into the recorder's internals.
+        """
+        if index < 0:
+            raise ValueError(f"sample index must be >= 0, got {index}")
+        rows = self._samples.get(kind)
+        if not rows:
+            return []
+        return list(rows[index:])
+
     def latencies(self, kind: Optional[str] = None) -> List[float]:
         """Raw latency values for ``kind`` (or across all kinds)."""
         if kind is not None:

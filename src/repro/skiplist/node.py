@@ -28,7 +28,7 @@ class Node:
     the in-interpreter payload.
     """
 
-    __slots__ = ("key", "seq", "value", "nbytes", "next")
+    __slots__ = ("key", "seq", "value", "nbytes", "height", "next")
 
     def __init__(self, key: bytes, seq: int, value, nbytes: int, height: int) -> None:
         if height < 1 or height > MAX_HEIGHT:
@@ -37,12 +37,11 @@ class Node:
         self.seq = seq
         self.value = value
         self.nbytes = nbytes
+        # Plain slot, not a property: the flush/merge paths read `height`
+        # hundreds of thousands of times per workload, and the tower
+        # length never changes after construction.
+        self.height = height
         self.next: List[Optional["Node"]] = [None] * height
-
-    @property
-    def height(self) -> int:
-        """Number of levels this node's tower spans."""
-        return len(self.next)
 
     @property
     def is_tombstone(self) -> bool:

@@ -35,13 +35,24 @@ class SkipList:
     def _find_predecessors(
         self, key: bytes, seq: int
     ) -> Tuple[List[Node], int]:
-        """Predecessor at every level for position (key, seq); plus hops."""
-        preds = [self.head] * MAX_HEIGHT
+        """Predecessor at every level for position (key, seq); plus hops.
+
+        This is the simulator's hottest loop (every insert, get, scan
+        seek, and merge splice lands here), so ``Node.precedes`` is
+        inlined: keys ascend, and among equal keys larger sequence
+        numbers (newer versions) come first.  The descent never needs a
+        tower-height guard -- a node reached at ``level`` spans it, and
+        the head spans every level.
+        """
         node = self.head
+        preds = [node] * MAX_HEIGHT
         hops = 0
         for level in range(MAX_HEIGHT - 1, -1, -1):
-            nxt = node.next[level] if level < node.height else None
-            while nxt is not None and nxt.precedes(key, seq):
+            nxt = node.next[level]
+            while nxt is not None:
+                nkey = nxt.key
+                if not (nkey < key if nkey != key else nxt.seq > seq):
+                    break
                 node = nxt
                 nxt = node.next[level]
                 hops += 1
@@ -142,7 +153,8 @@ class SkipList:
         """Link ``node`` after the given predecessors and account it."""
         for level in range(node.height):
             pred = preds[level]
-            node.next[level] = pred.next[level] if level < pred.height else None
+            # preds[level] always spans `level` (see _find_predecessors).
+            node.next[level] = pred.next[level]
             pred.next[level] = node
         self.entries += 1
         self.data_bytes += node.nbytes

@@ -83,7 +83,7 @@ def run_open_loop(
         operations(i)
         recorder.record("response", clock.now, clock.now - arrival)
 
-    samples = recorder._samples["response"]
+    samples = recorder.samples_since("response", 0)
     first_arrival = samples[0][0] - samples[0][1]
     total_span = samples[-1][0] - first_arrival
     achieved = n_ops / total_span if total_span > 0 else 0.0

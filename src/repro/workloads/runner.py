@@ -88,7 +88,7 @@ class Phase:
         ops = 0
         for kind in recorder.kinds():
             skip = self._start_counts.get(kind, 0)
-            rows = recorder._samples[kind][skip:]
+            rows = recorder.samples_since(kind, skip)
             ops += len(rows)
             for at, lat in rows:
                 window.record(kind, at, lat)

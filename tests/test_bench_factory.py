@@ -23,6 +23,27 @@ def test_make_store_unknown_name():
         make_store("rocksdb")
 
 
+def test_make_store_rejects_system_as_positional_scale():
+    system = make_system()
+    with pytest.raises(TypeError, match="system="):
+        make_store("miodb", system)
+
+
+def test_make_store_rejects_wrong_scale_type():
+    with pytest.raises(TypeError, match="BenchScale"):
+        make_store("miodb", scale=1024)
+
+
+def test_make_store_rejects_wrong_system_type():
+    with pytest.raises(TypeError, match="HybridMemorySystem"):
+        make_store("miodb", BenchScale(), system="nope")
+
+
+def test_make_store_rejects_non_string_name():
+    with pytest.raises(TypeError, match="store name"):
+        make_store(BenchScale())
+
+
 def test_make_store_applies_overrides():
     store, __ = make_store("miodb", num_levels=5)
     assert store.options.num_levels == 5

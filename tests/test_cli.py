@@ -72,3 +72,26 @@ def test_ssd_flag(capsys):
         ["dbbench", "--store", "miodb", "--ssd", "--n", "200", "--reads", "20"]
     )
     assert rc == 0
+
+
+def test_perf_subcommand_writes_trajectory(tmp_path, capsys):
+    path = tmp_path / "BENCH_perf.json"
+    rc = main(
+        ["perf", "--label", "cli-smoke", "--ops-scale", "tiny",
+         "--repeats", "1", "--kernels", "compact", "--json", str(path)]
+    )
+    assert rc == 0
+    assert path.exists()
+    assert "cli-smoke" in capsys.readouterr().out
+
+
+def test_perf_subcommand_rejects_unknown_kernel(tmp_path):
+    rc = main(
+        ["perf", "--kernels", "fsync", "--json", str(tmp_path / "p.json")]
+    )
+    assert rc == 2
+
+
+def test_bench_subcommand_rejects_missing_dir(tmp_path, capsys):
+    rc = main(["bench", "--bench-dir", str(tmp_path / "nope")])
+    assert rc == 2

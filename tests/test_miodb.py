@@ -26,6 +26,36 @@ def test_flush_creates_pmtable_in_l0(system, tiny_mio_options):
     assert sum(store.level_table_counts()) >= 1
 
 
+def test_put_path_never_rotates_an_empty_memtable(system, tiny_mio_options):
+    from repro.kvstore.memtable import MemTable
+
+    store = MioDB(system, tiny_mio_options)
+    # Rotation only triggers on a *full* MemTable; an empty table is
+    # never full (its footprint is zero and capacities are positive, a
+    # constraint the MemTable constructor enforces), so the put path can
+    # never rotate an empty one.
+    assert not store.memtable.is_full
+    with pytest.raises(ValueError):
+        MemTable(system, 0)
+
+
+def test_empty_memtable_rotate_is_handled(system, tiny_mio_options):
+    store = MioDB(system, tiny_mio_options)
+    assert len(store.memtable) == 0
+    # Unreachable from the put path (see above), but direct rotation of
+    # an empty table must degenerate gracefully: last_seq falls back to
+    # store.seq so WAL truncation never goes backwards, and the flush
+    # schedules zero pointer-swizzle work instead of crashing.
+    store._rotate_memtable()
+    store.quiesce()
+    assert store.seq == 0
+    assert store.immutable is None
+    # The store keeps working normally afterwards.
+    store.put(b"after", SizedValue(1, 64))
+    value, __ = store.get(b"after")
+    assert value is not None
+
+
 def test_immutable_serves_reads_during_flush(system, tiny_mio_options):
     store = MioDB(system, tiny_mio_options)
     i = 0

@@ -1,0 +1,68 @@
+"""Tiny-scale smoke tests for the perf microbenchmark kernels.
+
+Marked ``perf_smoke``: they run every kernel at the tiny preset inside
+the tier-1 time budget and pin the property that makes wall-clock
+optimization safe -- the *simulated* model is bit-deterministic, so the
+same operations always yield the same simulated seconds (or merge work
+counters).  An optimization that changes a fingerprint changes the
+paper's figures and must fail here.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    KERNELS,
+    load_results,
+    record_run,
+    run_kernel,
+    run_kernels,
+    speedup_table,
+)
+
+pytestmark = pytest.mark.perf_smoke
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernel_is_deterministic_across_fresh_runs(kernel):
+    first = run_kernel(kernel, ops_scale="tiny", repeats=1)
+    second = run_kernel(kernel, ops_scale="tiny", repeats=1)
+    assert first["ops"] == second["ops"] > 0
+    assert first["wall_s"] > 0
+    # Same ops -> same simulated seconds (or exact merge counters).
+    assert first["fingerprint"] == second["fingerprint"]
+
+
+def test_repeats_cross_check_fingerprints():
+    # repeats>1 re-runs the kernel and asserts fingerprint equality
+    # internally; surviving it is itself a determinism check.
+    metrics = run_kernel("put", ops_scale="tiny", repeats=2)
+    assert metrics["kops_wall"] > 0
+
+
+def test_unknown_kernel_and_preset_rejected():
+    with pytest.raises(ValueError):
+        run_kernel("fsync")
+    with pytest.raises(ValueError):
+        run_kernel("put", ops_scale="huge")
+    with pytest.raises(ValueError):
+        run_kernel("put", repeats=0)
+
+
+def test_record_run_roundtrip(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    kernels = run_kernels(("compact",), ops_scale="tiny", repeats=1)
+    doc = record_run(path, "smoke", kernels, "miodb", "tiny")
+    assert json.loads(path.read_text()) == doc
+    assert doc["runs"][0]["label"] == "smoke"
+    # Re-recording the same label replaces the run instead of duplicating.
+    doc = record_run(path, "smoke", kernels, "miodb", "tiny")
+    assert len(doc["runs"]) == 1
+    assert load_results(path) == doc
+    table = speedup_table(doc)
+    assert "smoke" in table and "compact_ms" in table
+
+
+def test_speedup_table_empty():
+    assert "no perf runs" in speedup_table({"runs": []})

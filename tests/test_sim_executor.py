@@ -122,6 +122,38 @@ def test_next_completion(executor):
     assert executor.next_completion() == 2.5
 
 
+def test_next_completion_skips_cancelled_jobs_at_heap_top(executor):
+    doomed = executor.submit(executor.worker("a"), 1.0)
+    survivor = executor.submit(executor.worker("b"), 2.0)
+    doomed.cancelled = True
+    # The lazy-deletion peek must look past the cancelled entry at the
+    # top of the heap and report the first live completion.
+    assert executor.next_completion() == survivor.end
+    assert executor.pending == 1
+
+
+def test_next_completion_all_cancelled_is_idle(executor):
+    jobs = [executor.submit(executor.worker(f"w{i}"), float(i + 1)) for i in range(3)]
+    for job in jobs:
+        job.cancelled = True
+    assert executor.next_completion() is None
+    assert executor.pending == 0
+    # Lazily-popped cancelled jobs must never fire once time passes.
+    executor.clock.advance(10.0)
+    assert executor.settle() == 0
+
+
+def test_next_completion_pops_lazily_without_losing_live_jobs(executor):
+    fired = []
+    doomed = executor.submit(executor.worker("a"), 1.0, lambda: fired.append("doomed"))
+    executor.submit(executor.worker("b"), 2.0, lambda: fired.append("live"))
+    doomed.cancelled = True
+    executor.next_completion()  # pops the cancelled top entry
+    executor.clock.advance(5.0)
+    executor.settle()
+    assert fired == ["live"]
+
+
 def test_crash_reset_cancels_pending_jobs(executor):
     fired = []
     executor.submit(executor.worker("w"), 1.0, lambda: fired.append(1))
@@ -140,6 +172,20 @@ def test_crash_reset_frees_workers(executor):
     assert worker.busy_until == executor.clock.now
     job = executor.submit(worker, 1.0)
     assert job.start == executor.clock.now
+
+
+def test_crash_reset_leaves_heap_usable(executor):
+    fired = []
+    executor.submit(executor.worker("w"), 5.0, lambda: fired.append("old"))
+    executor.crash_reset()
+    assert executor.next_completion() is None
+    # Post-reboot work schedules, peeks, and settles normally.
+    job = executor.submit(executor.worker("w"), 1.0, lambda: fired.append("new"))
+    assert executor.next_completion() == job.end
+    end = executor.drain()
+    assert fired == ["new"]
+    assert end == job.end
+    assert executor.pending == 0
 
 
 def test_worker_accounting(executor):
