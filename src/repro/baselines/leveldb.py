@@ -17,6 +17,12 @@ from repro.kvstore.api import KVStore
 from repro.kvstore.memtable import MemTable, memtable_entries
 from repro.kvstore.options import StoreOptions
 from repro.kvstore.scans import CostCell, merged_scan, skiplist_stream
+from repro.obs.events import (
+    CAT_FLUSH,
+    STALL_L0_SLOWDOWN,
+    STALL_L0_STOP,
+    STALL_MEMTABLE_FULL,
+)
 from repro.persist.wal import WriteAheadLog
 from repro.sim.rng import XorShiftRng
 from repro.skiplist.node import TOMBSTONE
@@ -61,13 +67,14 @@ class LevelDBStore(KVStore):
         """LevelDB's MakeRoomForWrite: slowdown, rotate, or block."""
         seconds = 0.0
         if self.lsm.l0_table_count() >= self.options.l0_slowdown_tables:
-            seconds += self.options.slowdown_delay_s
-            self.system.stats.add("stall.cumulative_s", self.options.slowdown_delay_s)
+            seconds += self._stall_delay(
+                STALL_L0_SLOWDOWN, self.options.slowdown_delay_s
+            )
         if not self.memtable.is_full:
             return seconds
         if self._flush_job is not None and not self._flush_job.done:
             stalled = self.system.executor.wait_for(self._flush_job)
-            self.system.stats.add("stall.interval_s", stalled)
+            self._stall_wait(STALL_MEMTABLE_FULL, stalled)
         seconds += self._wait_while_l0_stopped()
         self._rotate_memtable()
         return seconds
@@ -82,7 +89,7 @@ class LevelDBStore(KVStore):
             before = self.system.clock.now
             self.system.clock.advance_to(deadline)
             self.system.executor.settle()
-            self.system.stats.add("stall.interval_s", self.system.clock.now - before)
+            self._stall_wait(STALL_L0_STOP, self.system.clock.now - before)
         return 0.0
 
     def _rotate_memtable(self) -> None:
@@ -113,7 +120,8 @@ class LevelDBStore(KVStore):
         self.system.stats.add("flush.time_s", seconds)
         self.system.stats.add("flush.bytes", table.data_bytes)
         return self.system.executor.submit(
-            self.flush_worker, seconds, apply, name=f"{self.name}-flush"
+            self.flush_worker, seconds, apply, name=f"{self.name}-flush",
+            meta={"cat": CAT_FLUSH, "bytes": table.data_bytes},
         )
 
     # ------------------------------------------------------------- read path

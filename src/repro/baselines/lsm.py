@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.bloom.filter import BloomFilter
 from repro.kvstore.scans import CostCell, entry_list_stream, merged_entries
+from repro.obs.events import CAT_COMPACT
 from repro.skiplist.node import TOMBSTONE
 from repro.sstable.merge import merge_entry_streams
 from repro.sstable.table import Entry, SSTable, build_sstable, entry_frame_bytes
@@ -204,7 +205,8 @@ class LeveledLSM:
 
         self.system.stats.add("compact.time_s", seconds)
         self.system.executor.submit(
-            worker, seconds, apply, name=f"{self.label}-compact-L{level}"
+            worker, seconds, apply, name=f"{self.label}-compact-L{level}",
+            meta={"cat": CAT_COMPACT, "level": level, "bytes": bytes_moved},
         )
 
     # ----------------------------------------------------------------- reads

@@ -25,6 +25,13 @@ from repro.kvstore.api import KVStore
 from repro.kvstore.memtable import MemTable, memtable_entries
 from repro.kvstore.options import MB, StoreOptions
 from repro.kvstore.scans import CostCell, entry_list_stream, merged_scan, skiplist_stream
+from repro.obs.events import (
+    CAT_COMPACT,
+    CAT_FLUSH,
+    STALL_L0_SLOWDOWN,
+    STALL_L0_STOP,
+    STALL_MEMTABLE_FULL,
+)
 from repro.persist.arena import Arena
 from repro.persist.wal import WriteAheadLog
 from repro.sim.rng import XorShiftRng
@@ -147,7 +154,7 @@ class MatrixKVStore(KVStore):
         if self.memtable.is_full:
             if self._flush_job is not None and not self._flush_job.done:
                 stalled = self.system.executor.wait_for(self._flush_job)
-                self.system.stats.add("stall.interval_s", stalled)
+                self._stall_wait(STALL_MEMTABLE_FULL, stalled)
             self._wait_while_container_stopped()
             self._rotate_memtable()
         if self.options.wal_enabled:
@@ -161,8 +168,11 @@ class MatrixKVStore(KVStore):
         fill = self.container_bytes() / float(self.options.container_bytes)
         flush_pending = self._flush_job is not None and not self._flush_job.done
         if fill >= self.options.slowdown_threshold or flush_pending:
-            self.system.stats.add("stall.cumulative_s", self.options.slowdown_delay_s)
-            return self.options.slowdown_delay_s
+            # The matrix container plays L0's role, so container
+            # pressure reports as the canonical l0-slowdown cause.
+            return self._stall_delay(
+                STALL_L0_SLOWDOWN, self.options.slowdown_delay_s
+            )
         return 0.0
 
     def _wait_while_container_stopped(self) -> None:
@@ -175,7 +185,7 @@ class MatrixKVStore(KVStore):
             before = self.system.clock.now
             self.system.clock.advance_to(deadline)
             self.system.executor.settle()
-            self.system.stats.add("stall.interval_s", self.system.clock.now - before)
+            self._stall_wait(STALL_L0_STOP, self.system.clock.now - before)
 
     def _rotate_memtable(self) -> None:
         old = self.memtable
@@ -208,7 +218,8 @@ class MatrixKVStore(KVStore):
         self.system.stats.add("flush.bytes", table.data_bytes)
         self.system.stats.add("serialize.time_s", self.system.cpu.serialize_time(row.data_bytes))
         return self.system.executor.submit(
-            self.flush_worker, seconds, apply, name=f"{self.name}-flush"
+            self.flush_worker, seconds, apply, name=f"{self.name}-flush",
+            meta={"cat": CAT_FLUSH, "bytes": table.data_bytes},
         )
 
     # ------------------------------------------------------- column compaction
@@ -323,7 +334,9 @@ class MatrixKVStore(KVStore):
 
         self.system.stats.add("compact.time_s", seconds)
         self.system.executor.submit(
-            self.column_worker, seconds, apply, name=f"{self.name}-column"
+            self.column_worker, seconds, apply, name=f"{self.name}-column",
+            meta={"cat": CAT_COMPACT, "level": 0, "kind": "column",
+                  "bytes": taken_bytes},
         )
 
     # ------------------------------------------------------------- read path

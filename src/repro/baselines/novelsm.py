@@ -24,6 +24,12 @@ from repro.kvstore.api import KVStore
 from repro.kvstore.memtable import MemTable, memtable_entries
 from repro.kvstore.options import MB, StoreOptions
 from repro.kvstore.scans import CostCell, merged_scan, skiplist_stream
+from repro.obs.events import (
+    CAT_FLUSH,
+    STALL_L0_SLOWDOWN,
+    STALL_L0_STOP,
+    STALL_MEMTABLE_FULL,
+)
 from repro.persist.wal import WriteAheadLog
 from repro.sim.rng import XorShiftRng
 from repro.skiplist.node import TOMBSTONE
@@ -78,8 +84,9 @@ class NoveLSMStore(KVStore):
     def _put(self, key: bytes, seq: int, value, value_bytes: int) -> float:
         seconds = 0.0
         if self.lsm.l0_table_count() >= self.options.l0_slowdown_tables:
-            seconds += self.options.slowdown_delay_s
-            self.system.stats.add("stall.cumulative_s", self.options.slowdown_delay_s)
+            seconds += self._stall_delay(
+                STALL_L0_SLOWDOWN, self.options.slowdown_delay_s
+            )
         if not self.dram_mt.is_full:
             return seconds + self._dram_put(key, seq, value, value_bytes)
 
@@ -92,7 +99,7 @@ class NoveLSMStore(KVStore):
                 # persistent skip list in place (no WAL needed).
                 return seconds + self._nvm_direct_put(key, seq, value, value_bytes)
             stalled = self.system.executor.wait_for(self._dram_flush_job)
-            self.system.stats.add("stall.interval_s", stalled)
+            self._stall_wait(STALL_MEMTABLE_FULL, stalled)
         self._wait_while_l0_stopped()
         self._rotate_dram()
         return seconds + self._dram_put(key, seq, value, value_bytes)
@@ -121,7 +128,7 @@ class NoveLSMStore(KVStore):
         if self.nvm_imm is not None:
             if self._nvm_chain_tail is not None and not self._nvm_chain_tail.done:
                 stalled = self.system.executor.wait_for(self._nvm_chain_tail)
-                self.system.stats.add("stall.interval_s", stalled)
+                self._stall_wait(STALL_MEMTABLE_FULL, stalled)
         self._rotate_nvm()
         return stalled
 
@@ -159,7 +166,8 @@ class NoveLSMStore(KVStore):
         self.system.stats.add("flush.time_s", seconds)
         self.system.stats.add("flush.bytes", table.data_bytes)
         return self.system.executor.submit(
-            self.dram_flush_worker, seconds, apply, name=f"{self.name}-dram-flush"
+            self.dram_flush_worker, seconds, apply, name=f"{self.name}-dram-flush",
+            meta={"cat": CAT_FLUSH, "bytes": table.data_bytes},
         )
 
     def _rotate_nvm(self) -> None:
@@ -195,7 +203,8 @@ class NoveLSMStore(KVStore):
 
             self.system.stats.add("flush.time_s", seconds)
             tail = self.system.executor.submit(
-                self.nvm_flush_worker, seconds, apply, name=f"{self.name}-nvm-flush"
+                self.nvm_flush_worker, seconds, apply, name=f"{self.name}-nvm-flush",
+                meta={"cat": CAT_FLUSH, "bytes": chunk_bytes},
             )
         self.system.stats.add("flush.count", 1)
         self.system.stats.add("flush.bytes", table.data_bytes)
@@ -210,7 +219,7 @@ class NoveLSMStore(KVStore):
             before = self.system.clock.now
             self.system.clock.advance_to(deadline)
             self.system.executor.settle()
-            self.system.stats.add("stall.interval_s", self.system.clock.now - before)
+            self._stall_wait(STALL_L0_STOP, self.system.clock.now - before)
 
     # ------------------------------------------------------------- read path
 

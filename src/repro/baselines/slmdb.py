@@ -22,6 +22,7 @@ from repro.kvstore.api import KVStore
 from repro.kvstore.memtable import MemTable, memtable_entries
 from repro.kvstore.options import StoreOptions
 from repro.kvstore.scans import CostCell, entry_list_stream, merged_scan, skiplist_stream
+from repro.obs.events import CAT_COMPACT, CAT_FLUSH, STALL_MEMTABLE_FULL
 from repro.persist.arena import Arena
 from repro.persist.wal import WriteAheadLog
 from repro.sim.rng import XorShiftRng
@@ -68,7 +69,7 @@ class SLMDBStore(KVStore):
         if self.memtable.is_full:
             if self._flush_job is not None and not self._flush_job.done:
                 stalled = self.system.executor.wait_for(self._flush_job)
-                self.system.stats.add("stall.interval_s", stalled)
+                self._stall_wait(STALL_MEMTABLE_FULL, stalled)
             self._rotate_memtable()
         if self.options.wal_enabled:
             seconds += self.wal.append(seq, key, value, value_bytes)
@@ -125,7 +126,8 @@ class SLMDBStore(KVStore):
         self.system.stats.add("flush.time_s", seconds)
         self.system.stats.add("flush.bytes", table.data_bytes)
         return self.system.executor.submit(
-            self.worker, seconds, apply, name=f"{self.name}-flush"
+            self.worker, seconds, apply, name=f"{self.name}-flush",
+            meta={"cat": CAT_FLUSH, "bytes": table.data_bytes},
         )
 
     def _grow_index_arena(self, nodes_before: int) -> None:
@@ -223,7 +225,9 @@ class SLMDBStore(KVStore):
 
         self.system.stats.add("compact.time_s", seconds)
         self.system.executor.submit(
-            self.worker, seconds, apply, name=f"{self.name}-compact"
+            self.worker, seconds, apply, name=f"{self.name}-compact",
+            meta={"cat": CAT_COMPACT, "level": 1,
+                  "bytes": sum(t.data_bytes for t in candidates)},
         )
 
     # ------------------------------------------------------------- read path

@@ -5,15 +5,19 @@ Run workloads against any store in the library from a shell::
     python -m repro dbbench --store miodb --n 8192
     python -m repro ycsb --store all --workloads A,C --records 4096
     python -m repro compare
+    python -m repro trace --store miodb --n 2048 --out trace.json
     python -m repro info
     python -m repro perf --label after-change
     python -m repro bench --jobs 8
 
 Every run is deterministic (simulated time); throughput and latency
-numbers are directly comparable across stores and invocations.
+numbers are directly comparable across stores and invocations, and
+trace artifacts (``repro trace`` or ``--trace FILE`` on the workload
+commands) are byte-identical across runs with the same seed.
 """
 
 import argparse
+import pathlib
 import sys
 from typing import List
 
@@ -51,14 +55,45 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ssd", action="store_true",
                         help="use the DRAM-NVM-SSD hierarchy")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome/Perfetto trace of each store's run to FILE "
+             "(with multiple stores the store name is suffixed)",
+    )
+
+
+def _trace_path(base: str, store_name: str, multi: bool) -> pathlib.Path:
+    """Per-store output path: ``trace.json`` -> ``trace-miodb.json``."""
+    path = pathlib.Path(base)
+    if not multi:
+        return path
+    return path.with_name(f"{path.stem}-{store_name}{path.suffix or '.json'}")
+
+
+def _start_trace(system, args):
+    """Attach a recorder when ``--trace`` was given, else return None."""
+    return system.attach_tracing() if getattr(args, "trace", None) else None
+
+
+def _finish_trace(recorder, args, store_name: str, multi: bool) -> None:
+    if recorder is None:
+        return
+    from repro.obs import write_chrome_trace
+
+    recorder.detach()
+    out = _trace_path(args.trace, store_name, multi)
+    write_chrome_trace(recorder, out, process_name=store_name)
+    print(f"# trace: {out} ({len(recorder)} events)", file=sys.stderr)
 
 
 def cmd_dbbench(args) -> int:
     scale = default_scale()
     n = args.n or scale.records_for(args.value_size)
     rows = []
+    multi = len(args.store) > 1
     for name in args.store:
         store, system = make_store(name, scale, ssd=args.ssd)
+        recorder = _start_trace(system, args)
         if args.mode in ("fillrandom", "all"):
             w = fill_random(store, n, args.value_size, seed=args.seed)
         else:
@@ -70,6 +105,7 @@ def cmd_dbbench(args) -> int:
             if args.mode != "fillseq"
             else read_seq(store, reads, n)
         )
+        _finish_trace(recorder, args, name, multi)
         rows.append(
             [name, w.kiops, w.latency.p999 * 1e6, r.kiops,
              r.latency.mean * 1e6, system.write_amplification()]
@@ -89,8 +125,10 @@ def cmd_ycsb(args) -> int:
             print(f"unknown YCSB workload {wl!r}", file=sys.stderr)
             return 2
     rows = []
+    multi = len(args.store) > 1
     for name in args.store:
         store, system = make_store(name, scale, ssd=args.ssd)
+        recorder = _start_trace(system, args)
         load = load_phase(store, n, args.value_size, seed=args.seed)
         row = [name, load.kiops]
         for wl in workloads:
@@ -99,6 +137,7 @@ def cmd_ycsb(args) -> int:
                 seed=args.seed + 7,
             )
             row.append(result.kiops)
+        _finish_trace(recorder, args, name, multi)
         rows.append(row)
     print(format_table(
         ["store", "load_KIOPS"] + [f"{w}_KIOPS" for w in workloads], rows))
@@ -109,20 +148,69 @@ def cmd_compare(args) -> int:
     scale = default_scale()
     n = scale.records_for(args.value_size) // 2
     rows = []
+    multi = len(args.store) > 1
     for name in args.store:
         store, system = make_store(name, scale, ssd=args.ssd)
+        recorder = _start_trace(system, args)
         w = fill_random(store, n, args.value_size, seed=args.seed)
         store.quiesce()
         r = read_random(store, min(1000, n), n)
+        _finish_trace(recorder, args, name, multi)
         rows.append(
             [name, w.kiops, r.kiops, w.latency.p999 * 1e6,
              system.write_amplification(),
-             system.stats.get("stall.interval_s")
-             + system.stats.get("stall.cumulative_s")]
+             # The paper distinguishes interval stalls (writes blocked
+             # on a flush/L0-stop) from cumulative slowdowns (per-write
+             # delays); report them separately.
+             system.stats.get("stall.interval_s"),
+             system.stats.get("stall.cumulative_s")]
         )
     print(format_table(
         ["store", "write_KIOPS", "read_KIOPS", "write_p999_us", "WA",
-         "stalls_s"], rows))
+         "stall_interval_s", "stall_cumulative_s"], rows))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Traced run of a deterministic workload; writes trace artifacts."""
+    from repro.obs import (
+        bandwidth_csv,
+        gantt,
+        metrics_json,
+        queue_depth_csv,
+        run_traced,
+        write_chrome_trace,
+    )
+
+    multi = len(args.store) > 1
+    for name in args.store:
+        store, system, recorder = run_traced(
+            name,
+            n=args.n,
+            value_size=args.value_size,
+            mode=args.mode,
+            reads=args.reads,
+            seed=args.seed,
+            ssd=args.ssd,
+        )
+        out = _trace_path(args.out, name, multi)
+        write_chrome_trace(recorder, out, process_name=name)
+        print(f"# trace: {out} ({len(recorder)} events)", file=sys.stderr)
+        if args.metrics:
+            path = _trace_path(args.metrics, name, multi)
+            path.write_text(metrics_json(system, recorder))
+            print(f"# metrics: {path}", file=sys.stderr)
+        if args.bandwidth_csv:
+            path = _trace_path(args.bandwidth_csv, name, multi)
+            path.write_text(bandwidth_csv(recorder))
+            print(f"# bandwidth: {path}", file=sys.stderr)
+        if args.queue_csv:
+            path = _trace_path(args.queue_csv, name, multi)
+            path.write_text(queue_depth_csv(recorder))
+            print(f"# queue depth: {path}", file=sys.stderr)
+        if args.gantt:
+            print(f"## {name}")
+            print(gantt(recorder))
     return 0
 
 
@@ -152,7 +240,10 @@ def cmd_perf(args) -> int:
         "--label", args.label, "--store", args.perf_store,
         "--ops-scale", args.ops_scale, "--repeats", str(args.repeats),
         "--kernels", args.kernels, "--json", args.json,
+        "--band-factor", str(args.band_factor),
     ]
+    if args.check_band is not None:
+        argv += ["--check-band", args.check_band]
     return perf.main(argv)
 
 
@@ -195,6 +286,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compare)
     p.set_defaults(store=list(STORE_NAMES))
 
+    p = sub.add_parser(
+        "trace", help="run a traced workload, write Perfetto/CSV artifacts"
+    )
+    p.add_argument(
+        "--store", type=_stores_arg, default=["miodb"],
+        help="store name, comma list, or 'all'",
+    )
+    p.add_argument("--n", type=int, default=2048, help="records to write")
+    p.add_argument("--value-size", type=int, default=1024)
+    p.add_argument("--mode", choices=["fillrandom", "fillseq"],
+                   default="fillrandom")
+    p.add_argument("--reads", type=int, default=256,
+                   help="random reads after the fill (0 to skip)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--ssd", action="store_true",
+                   help="use the DRAM-NVM-SSD hierarchy")
+    p.add_argument("--out", default="trace.json", metavar="FILE",
+                   help="Chrome/Perfetto trace-event JSON output")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="also write a hierarchical metrics snapshot (JSON)")
+    p.add_argument("--bandwidth-csv", default=None, metavar="FILE",
+                   help="also write a per-device bandwidth time series")
+    p.add_argument("--queue-csv", default=None, metavar="FILE",
+                   help="also write the background queue-depth time series")
+    p.add_argument("--gantt", action="store_true",
+                   help="print an ASCII gantt of background jobs")
+    p.set_defaults(func=cmd_trace)
+
     p = sub.add_parser("info", help="stores, device profiles, scaling")
     p.set_defaults(func=cmd_info)
 
@@ -207,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--kernels", default="put,get,scan,flush,compact")
     p.add_argument("--json", default="BENCH_perf.json")
+    p.add_argument("--check-band", metavar="LABEL", default=None,
+                   help="compare against recorded run LABEL instead of "
+                        "recording; exit 1 on violation")
+    p.add_argument("--band-factor", type=float, default=3.0)
     p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser(

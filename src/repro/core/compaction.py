@@ -16,6 +16,7 @@ Scheduling rules, straight from the paper:
 from typing import List, Optional
 
 from repro.core.pmtable import PMTable
+from repro.obs.events import CAT_COMPACT
 from repro.skiplist.merge import ZeroCopyMerge
 
 
@@ -86,7 +87,13 @@ class CompactionManager:
 
         self.system.stats.add("compact.time_s", seconds)
         self.system.executor.submit(
-            self.workers[level], seconds, apply, name=f"miodb-zero-copy-L{level}"
+            self.workers[level], seconds, apply, name=f"miodb-zero-copy-L{level}",
+            meta={
+                "cat": CAT_COMPACT,
+                "level": level,
+                "kind": "zero-copy",
+                "bytes": older.data_bytes + newer.data_bytes,
+            },
         )
 
     def _run_pointer_merge(self, newer: PMTable, older: PMTable) -> float:
@@ -137,7 +144,13 @@ class CompactionManager:
         self.system.stats.add("compact.time_s", seconds)
         self.system.stats.add("compact.lazy_time_s", seconds)
         self.system.executor.submit(
-            self.workers[level], seconds, apply, name=f"miodb-lazy-copy-L{level}"
+            self.workers[level], seconds, apply, name=f"miodb-lazy-copy-L{level}",
+            meta={
+                "cat": CAT_COMPACT,
+                "level": level,
+                "kind": "lazy-copy",
+                "bytes": table.data_bytes,
+            },
         )
 
     def force_progress(self) -> bool:

@@ -24,6 +24,7 @@ from repro.kvstore.api import KVStore
 from repro.kvstore.memtable import MemTable
 from repro.kvstore.scans import CostCell, merged_scan, skiplist_stream
 from repro.kvstore.values import value_nbytes
+from repro.obs.events import CAT_FLUSH, STALL_BUFFER_CAP, STALL_MEMTABLE_FULL
 from repro.persist.arena import Arena
 from repro.persist.crash import PASSIVE_INJECTOR
 from repro.persist.wal import WriteAheadLog
@@ -68,7 +69,7 @@ class MioDB(KVStore):
         if self.memtable.is_full:
             if self._flush_tail is not None and not self._flush_tail.done:
                 stalled = self.system.executor.wait_for(self._flush_tail)
-                self.system.stats.add("stall.interval_s", stalled)
+                self._stall_wait(STALL_MEMTABLE_FULL, stalled)
             self._respect_buffer_cap()
             self._rotate_memtable()
         if self.options.wal_enabled:
@@ -93,7 +94,7 @@ class MioDB(KVStore):
             before = self.system.clock.now
             self.system.clock.advance_to(deadline)
             self.system.executor.settle()
-            self.system.stats.add("stall.interval_s", self.system.clock.now - before)
+            self._stall_wait(STALL_BUFFER_CAP, self.system.clock.now - before)
 
     def _rotate_memtable(self) -> None:
         old = self.memtable
@@ -186,10 +187,14 @@ class MioDB(KVStore):
         self.system.stats.add("flush.bytes", table.data_bytes)
         self.system.stats.add("swizzle.time_s", swizzle_seconds)
         self.system.executor.submit(
-            self.flush_worker, copy_seconds, copy_done, name="miodb-one-piece-flush"
+            self.flush_worker, copy_seconds, copy_done,
+            name="miodb-one-piece-flush",
+            meta={"cat": CAT_FLUSH, "bytes": table.data_bytes, "entries": entries},
         )
         return self.system.executor.submit(
-            self.flush_worker, swizzle_seconds, swizzle_done, name="miodb-swizzle"
+            self.flush_worker, swizzle_seconds, swizzle_done,
+            name="miodb-swizzle",
+            meta={"cat": CAT_FLUSH, "phase": "swizzle", "pointers": pointers},
         )
 
     def _make_bloom(self, entry_count: int) -> BloomFilter:
@@ -240,7 +245,7 @@ class MioDB(KVStore):
             if self.memtable.is_full:
                 if self._flush_tail is not None and not self._flush_tail.done:
                     stalled = self.system.executor.wait_for(self._flush_tail)
-                    self.system.stats.add("stall.interval_s", stalled)
+                    self._stall_wait(STALL_MEMTABLE_FULL, stalled)
                 self._respect_buffer_cap()
                 self._rotate_memtable()
             seconds += self.memtable.insert(key, seq, value, nbytes)

@@ -135,7 +135,46 @@ class KVStore(ABC):
         self.system.clock.advance(seconds)
         latency = self.system.clock.now - start
         self.system.latency.record(kind, self.system.clock.now, latency)
+        obs = self.system.obs
+        if obs is not None:
+            obs.span("foreground", kind, "op", start, self.system.clock.now)
         return latency
+
+    def _stall_wait(self, cause: str, seconds: float) -> float:
+        """Record an interval stall that just advanced the clock.
+
+        Adds to ``stall.interval_s`` and, when tracing is on, emits a
+        stall span covering the blocked window with its ``cause``
+        (``repro.obs.events.STALL_CAUSES`` is the vocabulary).  Returns
+        ``seconds`` so call sites can stay expression-shaped.
+        """
+        if seconds > 0.0:
+            self.system.stats.add("stall.interval_s", seconds)
+            obs = self.system.obs
+            if obs is not None:
+                now = self.system.clock.now
+                obs.span(
+                    "foreground", "stall", "stall", now - seconds, now,
+                    {"cause": cause},
+                )
+        return seconds
+
+    def _stall_delay(self, cause: str, seconds: float) -> float:
+        """Record a cumulative slowdown delay applied to one write.
+
+        Unlike an interval stall the clock has not advanced yet (the
+        delay is folded into the operation's duration), so the trace
+        gets an instant event carrying the delay in its args.  Returns
+        ``seconds``.
+        """
+        self.system.stats.add("stall.cumulative_s", seconds)
+        obs = self.system.obs
+        if obs is not None:
+            obs.instant(
+                "foreground", "stall", "stall",
+                {"cause": cause, "seconds": seconds},
+            )
+        return seconds
 
     @staticmethod
     def _require_key(key: bytes) -> None:

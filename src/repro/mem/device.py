@@ -72,6 +72,8 @@ class Device:
         # Time-weighted usage integral, for average-usage reporting.
         self._usage_area = 0.0
         self._usage_last_t = 0.0
+        #: Attached TraceRecorder, or None (set by system.attach_tracing).
+        self.obs = None
 
     @property
     def name(self) -> str:
@@ -86,6 +88,8 @@ class Device:
             raise ValueError(f"negative read size: {nbytes}")
         self.bytes_read += nbytes
         self.read_ops += 1
+        if self.obs is not None:
+            self.obs.transfer(self.profile.name, "read", nbytes, sequential)
         return self.profile.read_time(nbytes, sequential)
 
     def write(self, nbytes: int, sequential: bool = True) -> float:
@@ -94,6 +98,8 @@ class Device:
             raise ValueError(f"negative write size: {nbytes}")
         self.bytes_written += nbytes
         self.write_ops += 1
+        if self.obs is not None:
+            self.obs.transfer(self.profile.name, "write", nbytes, sequential)
         return self.profile.write_time(nbytes, sequential)
 
     def pointer_write(self) -> float:

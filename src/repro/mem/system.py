@@ -37,6 +37,8 @@ class HybridMemorySystem:
         self.cpu = cpu or CpuCostModel()
         self.stats = StatsRegistry()
         self.latency = LatencyRecorder()
+        #: The attached TraceRecorder, or None (tracing off -- the default).
+        self.obs = None
 
     @classmethod
     def with_ssd(cls, **kwargs) -> "HybridMemorySystem":
@@ -49,12 +51,35 @@ class HybridMemorySystem:
         """Current simulated time in seconds."""
         return self.clock.now
 
+    def devices(self):
+        """Every device on this machine, DRAM first."""
+        devices = [self.dram, self.nvm]
+        if self.ssd is not None:
+            devices.append(self.ssd)
+        return devices
+
     def persistent_devices(self):
         """Devices whose writes count toward write amplification."""
         devices = [self.nvm]
         if self.ssd is not None:
             devices.append(self.ssd)
         return devices
+
+    def attach_tracing(self):
+        """Attach a fresh :class:`~repro.obs.recorder.TraceRecorder`.
+
+        Returns the recorder; every store on this system starts emitting
+        op/stall/flush/compact/transfer events until
+        :meth:`detach_tracing` (or ``recorder.detach()``) is called.
+        """
+        from repro.obs.recorder import TraceRecorder
+
+        return TraceRecorder(self.clock).attach(self)
+
+    def detach_tracing(self) -> None:
+        """Detach the current recorder, if any (idempotent)."""
+        if self.obs is not None:
+            self.obs.detach()
 
     def persistent_bytes_written(self) -> int:
         """Total bytes written to persistent media so far."""

@@ -1,0 +1,93 @@
+"""Typed trace events and the vocabularies they draw from.
+
+Every event carries a *track* (which timeline row it belongs to), a
+*category* (what kind of activity it describes), a simulated timestamp,
+and -- for spans -- a duration.  Because all timestamps come from the
+simulated clock, a trace is a pure function of the workload: the same
+operations always produce the same events in the same order.
+
+Track naming convention:
+
+- ``"foreground"`` -- client operations and the stalls they suffer.
+- ``"worker:<name>"`` -- one background worker (flush or compaction).
+- ``"dev:<name>"`` -- one device's transfer events.
+"""
+
+from typing import Optional
+
+# ------------------------------------------------------------- categories
+
+#: Foreground client operation (put/get/scan/delete/batch).
+CAT_OP = "op"
+#: Foreground write stall; ``args["cause"]`` names the trigger.
+CAT_STALL = "stall"
+#: Background MemTable flush work.
+CAT_FLUSH = "flush"
+#: Background compaction work; ``args["level"]`` when known.
+CAT_COMPACT = "compact"
+#: Any other background job.
+CAT_JOB = "job"
+#: One device read or write; ``args["bytes"]`` is the transfer size.
+CAT_TRANSFER = "transfer"
+
+CATEGORIES = (CAT_OP, CAT_STALL, CAT_FLUSH, CAT_COMPACT, CAT_JOB, CAT_TRANSFER)
+
+# ------------------------------------------------------------ stall causes
+#
+# The canonical stall-cause vocabulary (docs/observability.md).  Stores
+# map their own triggers onto these four: MatrixKV's matrix container
+# plays the role of L0, so container slowdown/stop report as the L0
+# causes; MioDB's elastic-buffer cap is the only ``buffer-cap`` source.
+
+#: The MemTable filled while its predecessor was still flushing.
+STALL_MEMTABLE_FULL = "memtable-full"
+#: L0 (or the matrix container) crossed the slowdown threshold.
+STALL_L0_SLOWDOWN = "l0-slowdown"
+#: L0 (or the matrix container) crossed the stop threshold.
+STALL_L0_STOP = "l0-stop"
+#: MioDB's bounded NVM buffer needed draining before the next flush.
+STALL_BUFFER_CAP = "buffer-cap"
+
+STALL_CAUSES = frozenset(
+    {STALL_MEMTABLE_FULL, STALL_L0_SLOWDOWN, STALL_L0_STOP, STALL_BUFFER_CAP}
+)
+
+# -------------------------------------------------------------- the event
+
+
+class TraceEvent:
+    """One trace record: a span (``dur`` set) or an instant (``dur None``)."""
+
+    __slots__ = ("track", "name", "cat", "ts", "dur", "args")
+
+    def __init__(
+        self,
+        track: str,
+        name: str,
+        cat: str,
+        ts: float,
+        dur: Optional[float] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.track = track
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.dur = dur
+        self.args = args
+
+    @property
+    def end(self) -> float:
+        """The span's end time (an instant ends when it happens)."""
+        return self.ts if self.dur is None else self.ts + self.dur
+
+    @property
+    def is_span(self) -> bool:
+        return self.dur is not None
+
+    def __repr__(self) -> str:
+        shape = f"dur={self.dur:.9f}" if self.dur is not None else "instant"
+        return (
+            f"TraceEvent({self.track!r}, {self.name!r}, cat={self.cat!r}, "
+            f"ts={self.ts:.9f}, {shape})"
+        )

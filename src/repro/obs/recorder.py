@@ -1,0 +1,206 @@
+"""The trace recorder: an event bus stamped by the simulated clock.
+
+A :class:`TraceRecorder` attaches to one :class:`~repro.mem.system.HybridMemorySystem`
+and collects :class:`~repro.obs.events.TraceEvent` records from three
+native hook points:
+
+- the :class:`~repro.kvstore.api.KVStore` base class (foreground op
+  spans and stall spans/instants, with a ``cause``);
+- the executor's submit-listener API (background flush/compaction job
+  spans, one per worker track);
+- the devices (per-transfer instants with byte counts).
+
+Tracing is strictly opt-in: a system starts with ``system.obs is None``
+and every instrumentation site guards on that, so the disabled cost is
+one attribute load per site.  Attach with
+``system.attach_tracing()`` / detach with ``system.detach_tracing()``.
+"""
+
+from typing import Iterator, List, Optional
+
+from repro.obs.events import (
+    CAT_COMPACT,
+    CAT_FLUSH,
+    CAT_JOB,
+    CAT_OP,
+    CAT_STALL,
+    CAT_TRANSFER,
+    TraceEvent,
+)
+
+
+class TraceRecorder:
+    """Collects typed spans and instants from one simulated machine."""
+
+    def __init__(self, clock) -> None:
+        self.clock = clock
+        self.events: List[TraceEvent] = []
+        self._system = None
+
+    # ------------------------------------------------------ attach/detach
+
+    def attach(self, system) -> "TraceRecorder":
+        """Wire this recorder into ``system``'s hook points."""
+        if self._system is not None:
+            raise RuntimeError("recorder is already attached")
+        if system.obs is not None:
+            raise RuntimeError("system already has a recorder attached")
+        self._system = system
+        system.obs = self
+        for device in system.devices():
+            device.obs = self
+        system.executor.add_submit_listener(self._on_submit)
+        return self
+
+    def detach(self) -> None:
+        """Unhook from the system; recorded events stay readable."""
+        system = self._system
+        if system is None:
+            return
+        self._system = None
+        system.obs = None
+        for device in system.devices():
+            device.obs = None
+        system.executor.remove_submit_listener(self._on_submit)
+
+    @property
+    def attached(self) -> bool:
+        return self._system is not None
+
+    # ------------------------------------------------------------ emission
+
+    def span(
+        self,
+        track: str,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a closed interval of activity on ``track``."""
+        self.events.append(TraceEvent(track, name, cat, start, end - start, args))
+
+    def instant(
+        self,
+        track: str,
+        name: str,
+        cat: str,
+        args: Optional[dict] = None,
+        ts: Optional[float] = None,
+    ) -> None:
+        """Record a point event (defaults to the current simulated time)."""
+        when = self.clock.now if ts is None else ts
+        self.events.append(TraceEvent(track, name, cat, when, None, args))
+
+    def transfer(self, device_name: str, op: str, nbytes: int, sequential: bool) -> None:
+        """One device read/write, stamped at the moment it is charged.
+
+        Device costs are *returned* to callers and applied to the clock
+        later, so the timestamp is the emission time -- deterministic,
+        and within the enclosing operation's span.
+        """
+        self.events.append(
+            TraceEvent(
+                f"dev:{device_name}",
+                op,
+                CAT_TRANSFER,
+                self.clock.now,
+                None,
+                {"bytes": nbytes, "seq": sequential},
+            )
+        )
+
+    def _on_submit(self, job, meta) -> None:
+        """Executor hook: every background job becomes a worker-track span."""
+        if meta is None:
+            cat, args = CAT_JOB, None
+        else:
+            cat = meta.get("cat", CAT_JOB)
+            args = {k: v for k, v in meta.items() if k != "cat"} or None
+        self.events.append(
+            TraceEvent(
+                f"worker:{job.worker.name}",
+                job.name,
+                cat,
+                job.start,
+                job.end - job.start,
+                args,
+            )
+        )
+
+    # ------------------------------------------------------------- queries
+
+    def select(
+        self, cat: Optional[str] = None, track: Optional[str] = None
+    ) -> List[TraceEvent]:
+        """Events filtered by category and/or track, in emission order."""
+        return [
+            e
+            for e in self.events
+            if (cat is None or e.cat == cat) and (track is None or e.track == track)
+        ]
+
+    def spans(self, cat: Optional[str] = None) -> List[TraceEvent]:
+        """All span events, optionally limited to one category."""
+        return [e for e in self.events if e.is_span and (cat is None or e.cat == cat)]
+
+    def instants(self, cat: Optional[str] = None) -> List[TraceEvent]:
+        """All instant events, optionally limited to one category."""
+        return [
+            e for e in self.events if not e.is_span and (cat is None or e.cat == cat)
+        ]
+
+    def tracks(self) -> List[str]:
+        """Track names in order of first appearance."""
+        seen = {}
+        for event in self.events:
+            seen.setdefault(event.track, None)
+        return list(seen)
+
+    def stall_seconds_by_cause(self) -> dict:
+        """Total stalled simulated seconds per cause, over all stall events.
+
+        Interval stalls contribute their span duration; cumulative
+        slowdown instants contribute their ``seconds`` argument.
+        """
+        totals: dict = {}
+        for event in self.events:
+            if event.cat != CAT_STALL:
+                continue
+            cause = (event.args or {}).get("cause", "unknown")
+            amount = event.dur if event.dur is not None else (
+                (event.args or {}).get("seconds", 0.0)
+            )
+            totals[cause] = totals.get(cause, 0.0) + amount
+        return totals
+
+    def counts_by_category(self) -> dict:
+        """Event counts per category, for summaries."""
+        counts: dict = {}
+        for event in self.events:
+            counts[event.cat] = counts.get(event.cat, 0) + 1
+        return counts
+
+    def worker_spans(self) -> Iterator[TraceEvent]:
+        """Spans on worker tracks (background jobs)."""
+        return (e for e in self.events if e.is_span and e.track.startswith("worker:"))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        state = "attached" if self.attached else "detached"
+        return f"TraceRecorder({len(self.events)} events, {state})"
+
+
+# Re-exported so instrumentation sites can import categories from one place.
+__all__ = [
+    "TraceRecorder",
+    "CAT_OP",
+    "CAT_STALL",
+    "CAT_FLUSH",
+    "CAT_COMPACT",
+    "CAT_JOB",
+    "CAT_TRANSFER",
+]

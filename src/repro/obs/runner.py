@@ -1,0 +1,67 @@
+"""One-call traced workload runs, shared by the CLI and the tests.
+
+``run_traced`` builds a fresh store, attaches a recorder, drives a
+deterministic workload, quiesces, and hands back everything needed to
+export artifacts.  Because store, system, and recorder are all freshly
+constructed and all time is simulated, two calls with the same arguments
+produce identical events -- the property the ``repro trace`` CLI and the
+pinned-determinism tests rely on.
+"""
+
+from typing import Tuple
+
+
+def run_traced(
+    store_name: str,
+    n: int = 2048,
+    value_size: int = 1024,
+    mode: str = "fillrandom",
+    reads: int = 256,
+    seed: int = 1,
+    ssd: bool = False,
+    scale=None,
+) -> Tuple[object, object, object]:
+    """Run a traced fill+read workload; returns ``(store, system, recorder)``.
+
+    The recorder is detached before returning, so the caller can export
+    its events without further mutation.  ``scale`` is a
+    :class:`~repro.bench.config.BenchScale`; when ``None`` a
+    *trace-tuned* scale is used instead of the benchmark default: a
+    small MemTable so a few thousand operations drive many flushes and
+    multi-level compactions, and (for MioDB) a capped elastic buffer so
+    the trace also shows write stalls.  MioDB's whole point is that it
+    barely stalls, so without the cap a short trace would contain no
+    stall spans to look at.
+    """
+    # Imported here, not at module scope: the stores import the event
+    # vocabulary from this package, so pulling the bench layer in at
+    # obs-import time would be circular.
+    from repro.bench.config import KB, MB, BenchScale
+    from repro.bench.factory import make_store
+    from repro.workloads import fill_random, fill_seq, read_random
+
+    if mode not in ("fillrandom", "fillseq"):
+        raise ValueError(f"unknown trace mode {mode!r} (use fillrandom|fillseq)")
+    overrides = {}
+    if scale is None:
+        scale = BenchScale(
+            memtable_bytes=64 * KB,
+            dataset_bytes=2 * MB,
+            value_size=KB,
+            nvm_buffer_bytes=512 * KB,
+        )
+        if store_name == "miodb":
+            overrides["max_nvm_buffer_bytes"] = 256 * KB
+    store, system = make_store(store_name, scale, ssd=ssd, **overrides)
+    recorder = system.attach_tracing()
+    try:
+        if mode == "fillseq":
+            fill_seq(store, n, value_size)
+        else:
+            fill_random(store, n, value_size, seed=seed)
+        if reads > 0:
+            read_random(store, min(reads, n), n, seed=seed + 1)
+        store.quiesce()
+    finally:
+        recorder.detach()
+    return store, system, recorder

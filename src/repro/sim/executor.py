@@ -75,6 +75,7 @@ class Executor:
         self._heap: List = []
         self._tiebreak = itertools.count()
         self._workers = {}
+        self._submit_listeners: List[Callable] = []
 
     def worker(self, name: str) -> Worker:
         """Return the named worker, creating it on first use."""
@@ -89,6 +90,19 @@ class Executor:
         """All workers created so far, in creation order."""
         return list(self._workers.values())
 
+    def add_submit_listener(self, listener: Callable) -> None:
+        """Register ``listener(job, meta)``, called once per submitted job.
+
+        This is the supported way to observe background work (tracing,
+        accounting): listeners see every job with its precomputed start
+        and end times.  They must not mutate the job.
+        """
+        self._submit_listeners.append(listener)
+
+    def remove_submit_listener(self, listener: Callable) -> None:
+        """Unregister a listener added with :meth:`add_submit_listener`."""
+        self._submit_listeners.remove(listener)
+
     def submit(
         self,
         worker: Worker,
@@ -96,12 +110,15 @@ class Executor:
         callback: Optional[Callable[[], None]] = None,
         name: str = "job",
         not_before: Optional[float] = None,
+        meta: Optional[dict] = None,
     ) -> Job:
         """Queue ``duration`` seconds of work on ``worker``.
 
         The job starts when the worker is free (but never before the
         current simulated time, nor before ``not_before`` when given) and
         its callback fires when the simulation settles past its end time.
+        ``meta`` is opaque annotation passed through to submit listeners
+        (e.g. the trace category and byte counts of a flush).
         """
         if duration < 0:
             raise ValueError(f"job duration must be >= 0, got {duration}")
@@ -114,6 +131,9 @@ class Executor:
         worker.jobs_run += 1
         job = Job(name, worker, start, end, callback)
         heapq.heappush(self._heap, (end, next(self._tiebreak), job))
+        if self._submit_listeners:
+            for listener in list(self._submit_listeners):
+                listener(job, meta)
         return job
 
     def settle(self, until: Optional[float] = None) -> int:

@@ -3,35 +3,67 @@
 Stores publish the cost breakdowns the paper reports (Table 1): interval
 stalls, cumulative stalls, flushing time, (de)serialization time, bytes
 written by the user versus bytes written to each device, and so on.
+
+Keys follow a ``family.metric`` convention; :data:`KEY_FAMILIES` is the
+registry of conventional families, so stores stop inventing ad-hoc
+names.  A registry built with ``strict=True`` rejects keys whose family
+is unknown -- the tests run the stores under strict mode to keep the
+vocabulary closed.
 """
 
 from typing import Dict
+
+#: The conventional key families and what belongs in each.  Metric names
+#: use ``_s`` for accumulated seconds and ``_bytes``/``count`` suffixes
+#: for byte and event counters.
+KEY_FAMILIES: Dict[str, str] = {
+    "stall": "foreground write stalls: interval_s (blocking) and "
+             "cumulative_s (per-write slowdown delays)",
+    "flush": "MemTable flushes: time_s, count, bytes",
+    "swizzle": "MioDB background pointer swizzling: time_s",
+    "serialize": "SSTable serialization: time_s",
+    "deserialize": "SSTable/row deserialization: time_s",
+    "compact": "compaction work: time_s, count, bytes_in, ptr_writes, "
+               "lazy_count, lazy_time_s",
+    "user": "logical client traffic: bytes_written (the WA denominator)",
+    "gc": "lazy-copy garbage collection: reclaimed_bytes",
+    "op": "operation counts: put, get, scan, delete, batch",
+    "recover": "crash recovery: count, time_s, replayed, dropped_jobs",
+}
 
 
 class StatsRegistry:
     """A flat map of named floating-point accumulators.
 
-    Conventional key families used across the reproduction:
-
-    - ``stall.interval_s`` / ``stall.cumulative_s`` -- write stalls.
-    - ``flush.time_s`` / ``flush.count`` / ``flush.bytes`` -- MemTable flushes.
-    - ``serialize.time_s`` / ``deserialize.time_s`` -- SSTable (de)serialization.
-    - ``compact.time_s`` / ``compact.count`` -- compaction work.
-    - ``user.bytes_written`` -- logical bytes the client wrote (WA denominator).
-    - ``gc.reclaimed_bytes`` -- memory reclaimed by lazy-copy GC.
+    Conventional key families are documented in :data:`KEY_FAMILIES`;
+    :meth:`snapshot_grouped` returns the counters nested by family.
+    With ``strict=True`` every update validates its key's family
+    against the registry.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, strict: bool = False) -> None:
         self._values: Dict[str, float] = {}
+        self.strict = strict
+
+    def _check(self, key: str) -> None:
+        if self.strict:
+            family = key.partition(".")[0]
+            if family not in KEY_FAMILIES:
+                raise KeyError(
+                    f"unknown stats family {family!r} (key {key!r}); "
+                    f"register it in repro.sim.stats.KEY_FAMILIES"
+                )
 
     def add(self, key: str, amount: float = 1.0) -> float:
         """Accumulate ``amount`` into ``key`` and return the new total."""
+        self._check(key)
         total = self._values.get(key, 0.0) + amount
         self._values[key] = total
         return total
 
     def set(self, key: str, value: float) -> None:
         """Overwrite ``key`` with ``value``."""
+        self._check(key)
         self._values[key] = float(value)
 
     def get(self, key: str, default: float = 0.0) -> float:
@@ -40,6 +72,7 @@ class StatsRegistry:
 
     def max(self, key: str, value: float) -> float:
         """Keep the running maximum of ``key``."""
+        self._check(key)
         current = self._values.get(key)
         if current is None or value > current:
             self._values[key] = value
@@ -49,6 +82,19 @@ class StatsRegistry:
     def snapshot(self) -> Dict[str, float]:
         """A copy of every counter, for reporting."""
         return dict(self._values)
+
+    def snapshot_grouped(self) -> Dict[str, Dict[str, float]]:
+        """Counters nested by key family, metric names sorted.
+
+        ``{"stall": {"interval_s": 1.2, "cumulative_s": 0.3}, ...}``;
+        a key without a ``.`` lands under its own name with metric
+        ``""``.
+        """
+        grouped: Dict[str, Dict[str, float]] = {}
+        for key in sorted(self._values):
+            family, __, metric = key.partition(".")
+            grouped.setdefault(family, {})[metric] = self._values[key]
+        return grouped
 
     def reset(self) -> None:
         """Zero out all counters."""

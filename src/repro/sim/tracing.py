@@ -4,31 +4,31 @@ A :class:`JobTracer` attached to an :class:`~repro.sim.executor.Executor`
 records every submitted job's (worker, name, start, end); the timeline
 can be rendered as an ASCII gantt chart -- the easiest way to *see*
 MioDB's parallel per-level compaction overlapping with flushing.
+
+This is now a thin adapter over the executor's submit-listener API (the
+same hook the full :class:`~repro.obs.recorder.TraceRecorder` uses); the
+historical monkey-patching of ``executor.submit`` is gone.  For traces
+that also cover foreground ops, stalls, and device traffic, attach a
+recorder via ``system.attach_tracing()`` instead.
 """
 
 from typing import List, Optional, Tuple
 
 
 class JobTracer:
-    """Records job spans from an executor it instruments."""
+    """Records job spans from an executor it listens to."""
 
     def __init__(self, executor) -> None:
         self.executor = executor
         self.spans: List[Tuple[str, str, float, float]] = []
-        self._original_submit = executor.submit
-        executor.submit = self._traced_submit  # instrument in place
+        executor.add_submit_listener(self._on_submit)
 
-    def _traced_submit(self, worker, duration, callback=None, name="job",
-                       not_before=None):
-        job = self._original_submit(
-            worker, duration, callback, name=name, not_before=not_before
-        )
-        self.spans.append((worker.name, name, job.start, job.end))
-        return job
+    def _on_submit(self, job, meta=None) -> None:
+        self.spans.append((job.worker.name, job.name, job.start, job.end))
 
     def detach(self) -> None:
-        """Stop tracing and restore the executor's submit method."""
-        self.executor.submit = self._original_submit
+        """Stop tracing (the executor keeps running untouched)."""
+        self.executor.remove_submit_listener(self._on_submit)
 
     def busy_time(self, worker_name: Optional[str] = None) -> float:
         """Total simulated seconds spent in traced jobs."""
@@ -39,17 +39,28 @@ class JobTracer:
         )
 
     def concurrency_profile(self, samples: int = 200) -> List[Tuple[float, int]]:
-        """(time, jobs-in-flight) samples over the traced window."""
+        """(time, jobs-in-flight) samples over the traced window.
+
+        One sweep over the sorted span edges: the jobs running at ``t``
+        are ``#{starts <= t} - #{ends <= t}``, and both counts only move
+        forward as ``t`` does -- O(samples + spans log spans) instead of
+        the old O(samples x spans) rescan.
+        """
         if not self.spans:
             return []
-        t0 = min(s[2] for s in self.spans)
-        t1 = max(s[3] for s in self.spans)
-        span = (t1 - t0) or 1e-12
+        starts = sorted(s[2] for s in self.spans)
+        ends = sorted(s[3] for s in self.spans)
+        t0, t1 = starts[0], ends[-1]
+        window = (t1 - t0) or 1e-12
         profile = []
+        started = ended = 0
         for i in range(samples):
-            t = t0 + span * i / samples
-            running = sum(1 for __, __n, s, e in self.spans if s <= t < e)
-            profile.append((t, running))
+            t = t0 + window * i / samples
+            while started < len(starts) and starts[started] <= t:
+                started += 1
+            while ended < len(ends) and ends[ended] <= t:
+                ended += 1
+            profile.append((t, started - ended))
         return profile
 
     def max_concurrency(self) -> int:
@@ -67,25 +78,8 @@ class JobTracer:
 
     def gantt(self, width: int = 72) -> str:
         """ASCII gantt chart: one row per worker, '#' where busy."""
-        if not self.spans:
-            return "(no jobs traced)"
-        t0 = min(s[2] for s in self.spans)
-        t1 = max(s[3] for s in self.spans)
-        span = (t1 - t0) or 1e-12
-        workers = sorted({s[0] for s in self.spans})
-        label_width = max(len(w) for w in workers)
-        lines = []
-        for worker in workers:
-            cells = [" "] * width
-            for wname, __, start, end in self.spans:
-                if wname != worker:
-                    continue
-                lo = int((start - t0) / span * width)
-                hi = max(lo + 1, int((end - t0) / span * width))
-                for i in range(lo, min(hi, width)):
-                    cells[i] = "#"
-            lines.append(f"{worker.ljust(label_width)} |{''.join(cells)}|")
-        lines.append(
-            f"{' ' * label_width} t={t0 * 1e3:.2f}ms ... {t1 * 1e3:.2f}ms"
+        from repro.obs.export import ascii_gantt
+
+        return ascii_gantt(
+            [(wname, start, end) for wname, __, start, end in self.spans], width
         )
-        return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Schema and determinism tests for the repro.obs tracing layer.
+
+Three contracts from docs/observability.md are pinned here:
+
+- **event schema**: every store emits the event vocabulary it is
+  capable of (op spans always; flush/compact/stall for stores with
+  background work), timestamps are simulated and monotone, and every
+  stall carries a documented ``cause``;
+- **exporter schema**: the Chrome trace-event JSON document has the
+  structure Perfetto expects;
+- **determinism**: a seeded ``repro trace`` run is byte-identical
+  across invocations, down to a pinned content hash.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.bench.factory import STORE_NAMES
+from repro.obs import (
+    CAT_COMPACT,
+    CAT_FLUSH,
+    CAT_OP,
+    CAT_STALL,
+    CAT_TRANSFER,
+    STALL_CAUSES,
+    chrome_trace_json,
+    run_traced,
+    to_chrome_trace,
+)
+
+#: Which event categories each store's background machinery can emit.
+#: novelsm-nosst persists everything in its NVM skip list: no flushes,
+#: no compactions, and therefore nothing to stall on.
+BACKGROUND_STORES = tuple(n for n in STORE_NAMES if n != "novelsm-nosst")
+
+_RUNS = {}
+
+
+def _traced(name):
+    """One traced run per store, shared across the schema tests."""
+    if name not in _RUNS:
+        _RUNS[name] = run_traced(name, n=2048, value_size=1024, reads=256)
+    return _RUNS[name]
+
+
+# ------------------------------------------------------------ event schema
+
+
+@pytest.mark.parametrize("name", STORE_NAMES)
+def test_every_store_emits_op_spans_with_monotone_timestamps(name):
+    store, system, recorder = _traced(name)
+    ops = recorder.spans(CAT_OP)
+    assert len(ops) == 2048 + 256
+    assert {e.name for e in ops} == {"put", "get"}
+    last = 0.0
+    for event in ops:
+        # Foreground ops are serial: spans are ordered and non-negative.
+        assert event.ts >= last
+        assert event.dur >= 0.0
+        last = event.ts
+    assert all(e.track == "foreground" for e in ops)
+    # Every timestamp is simulated: nothing beyond the final clock.
+    horizon = system.clock.now
+    for event in recorder.events:
+        assert 0.0 <= event.ts <= horizon
+        if event.dur is not None:
+            assert event.ts + event.dur <= horizon + 1e-12
+
+
+@pytest.mark.parametrize("name", STORE_NAMES)
+def test_transfers_carry_byte_counts_per_device(name):
+    __, system, recorder = _traced(name)
+    transfers = recorder.instants(CAT_TRANSFER)
+    assert transfers
+    for event in transfers:
+        assert event.track.startswith("dev:")
+        assert event.name in ("read", "write")
+        assert event.args["bytes"] > 0
+        assert isinstance(event.args["seq"], bool)
+    device_names = {d.name for d in system.devices()}
+    assert {e.track[len("dev:"):] for e in transfers} <= device_names
+
+
+@pytest.mark.parametrize("name", BACKGROUND_STORES)
+def test_background_stores_emit_flush_compact_and_stalls(name):
+    __, __, recorder = _traced(name)
+    flushes = recorder.spans(CAT_FLUSH)
+    assert flushes, f"{name} traced no flush jobs"
+    assert all(e.track.startswith("worker:") for e in flushes)
+    assert all(
+        e.args["bytes"] > 0 for e in flushes if e.args and "bytes" in e.args
+    )
+
+    compacts = recorder.spans(CAT_COMPACT)
+    assert compacts, f"{name} traced no compactions"
+    for event in compacts:
+        assert event.track.startswith("worker:")
+        assert event.args["level"] >= 0
+        assert event.args["bytes"] > 0
+
+    stalls = recorder.select(cat=CAT_STALL)
+    assert stalls, f"{name} traced no stalls at trace scale"
+    for event in stalls:
+        assert event.args["cause"] in STALL_CAUSES
+    assert sum(recorder.stall_seconds_by_cause().values()) > 0.0
+
+
+def test_nosst_store_emits_no_background_events():
+    __, __, recorder = _traced("novelsm-nosst")
+    counts = recorder.counts_by_category()
+    assert set(counts) == {CAT_OP, CAT_TRANSFER}
+
+
+def test_miodb_compactions_cover_multiple_levels():
+    __, __, recorder = _traced("miodb")
+    levels = {e.args["level"] for e in recorder.spans(CAT_COMPACT)}
+    assert len(levels) >= 2
+
+
+# --------------------------------------------------------- exporter schema
+
+
+def test_chrome_trace_document_schema():
+    __, __, recorder = _traced("leveldb")
+    doc = to_chrome_trace(recorder, process_name="leveldb")
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["generator"] == "repro.obs"
+    events = doc["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in metadata if e["name"] == "thread_name"}
+    assert "foreground" in names
+    assert any(n.startswith("worker:") for n in names)
+    assert any(n.startswith("dev:") for n in names)
+    assert {e["args"]["name"] for e in metadata if e["name"] == "process_name"} == {
+        "leveldb"
+    }
+    tids = {e["tid"] for e in metadata if e["name"] == "thread_name"}
+    for event in events:
+        if event["ph"] == "M":
+            continue
+        assert event["ph"] in ("X", "i")
+        assert event["pid"] == 1
+        assert event["tid"] in tids
+        assert event["ts"] >= 0.0
+        if event["ph"] == "X":
+            assert event["dur"] >= 0.0
+        else:
+            assert event["s"] == "t"
+    # The serialized form is valid JSON and round-trips.
+    assert json.loads(chrome_trace_json(recorder, "leveldb")) == json.loads(
+        json.dumps(doc)
+    )
+
+
+# ------------------------------------------------------------- determinism
+
+#: Pinned fingerprint of `run_traced("miodb", n=512, value_size=1024,
+#: reads=64, seed=1)`.  The trace layer promises byte-reproducible
+#: artifacts; if an intentional change to the simulated model or the
+#: event vocabulary moves these, re-pin them alongside BENCH_perf.json.
+PINNED_COUNTS = {"transfer": 1476, "op": 576, "flush": 16, "compact": 7, "stall": 5}
+PINNED_CLOCK = 0.0017989877593358522
+PINNED_SHA256 = "48efc156fab6bd5baef817d0045427b8699c9f2024b1d5bb1ee9f86ea02f5ba5"
+
+
+def test_trace_run_matches_pinned_fingerprint():
+    __, system, recorder = run_traced("miodb", n=512, value_size=1024, reads=64)
+    assert recorder.counts_by_category() == PINNED_COUNTS
+    assert system.clock.now == PINNED_CLOCK
+    text = chrome_trace_json(recorder, process_name="miodb")
+    assert hashlib.sha256(text.encode()).hexdigest() == PINNED_SHA256
+
+
+def test_trace_cli_is_byte_identical_across_runs(tmp_path):
+    from repro.cli import main
+
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    argv = ["trace", "--store", "miodb", "--n", "512", "--reads", "64"]
+    assert main(argv + ["--out", str(first)]) == 0
+    assert main(argv + ["--out", str(second)]) == 0
+    a, b = first.read_bytes(), second.read_bytes()
+    assert a == b
+    assert json.loads(a)["traceEvents"]

@@ -1,6 +1,8 @@
 """Unit tests for the stats registry."""
 
-from repro.sim.stats import StatsRegistry
+import pytest
+
+from repro.sim.stats import KEY_FAMILIES, StatsRegistry
 
 
 def test_add_accumulates():
@@ -60,3 +62,50 @@ def test_reset():
     stats.reset()
     assert stats.get("x") == 0.0
     assert "x" not in stats
+
+
+def test_snapshot_grouped_nests_by_family():
+    stats = StatsRegistry()
+    stats.add("flush.count", 2.0)
+    stats.add("flush.time_s", 0.5)
+    stats.add("op.put", 10.0)
+    assert stats.snapshot_grouped() == {
+        "flush": {"count": 2.0, "time_s": 0.5},
+        "op": {"put": 10.0},
+    }
+
+
+def test_strict_mode_rejects_unknown_family():
+    stats = StatsRegistry(strict=True)
+    with pytest.raises(KeyError, match="unknown stats family"):
+        stats.add("made_up.metric")
+    with pytest.raises(KeyError):
+        stats.set("nor_this.one", 1.0)
+    with pytest.raises(KeyError):
+        stats.max("nope.peak", 1.0)
+
+
+def test_strict_mode_accepts_every_registered_family():
+    stats = StatsRegistry(strict=True)
+    for family in KEY_FAMILIES:
+        stats.add(f"{family}.probe", 1.0)
+    assert len(stats.snapshot()) == len(KEY_FAMILIES)
+
+
+def test_stores_emit_only_registered_families():
+    """Every store's counters stay inside the documented vocabulary."""
+    from repro.bench.config import BenchScale
+    from repro.bench.factory import STORE_NAMES, make_store
+    from repro.workloads import fill_random
+
+    KB = 1 << 10
+    scale = BenchScale(
+        memtable_bytes=32 * KB, dataset_bytes=128 * KB, value_size=KB
+    )
+    for name in STORE_NAMES:
+        store, system = make_store(name, scale)
+        system.stats.strict = True  # raise on any unregistered key
+        fill_random(store, 128, scale.value_size, seed=1)
+        store.quiesce()
+        families = set(system.stats.snapshot_grouped())
+        assert families <= set(KEY_FAMILIES), (name, families)

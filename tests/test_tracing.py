@@ -57,6 +57,41 @@ def test_concurrency_profile(system):
     assert max(running for __, running in profile) == 2
 
 
+def test_submit_listeners_receive_meta(system):
+    seen = []
+    listener = lambda job, meta: seen.append((job.name, meta))  # noqa: E731
+    system.executor.add_submit_listener(listener)
+    worker = system.executor.worker("w")
+    system.executor.submit(worker, 1.0, name="a", meta={"cat": "flush", "bytes": 7})
+    system.executor.submit(worker, 1.0, name="b")
+    system.executor.remove_submit_listener(listener)
+    system.executor.submit(worker, 1.0, name="c")
+    assert seen == [("a", {"cat": "flush", "bytes": 7}), ("b", None)]
+
+
+def test_job_tracer_and_recorder_coexist(system):
+    from repro.obs import TraceRecorder
+
+    tracer = JobTracer(system.executor)
+    recorder = TraceRecorder(system.clock).attach(system)
+    system.executor.submit(system.executor.worker("w"), 1.0, name="job")
+    assert len(tracer.spans) == 1
+    assert len(list(recorder.worker_spans())) == 1
+    recorder.detach()
+    tracer.detach()
+
+
+def test_concurrency_profile_matches_brute_force(system):
+    tracer = JobTracer(system.executor)
+    for i in range(4):
+        system.executor.submit(system.executor.worker(f"w{i}"), float(i + 1))
+    system.executor.submit(system.executor.worker("w0"), 2.0)
+    profile = tracer.concurrency_profile(samples=50)
+    for t, running in profile:
+        expected = sum(1 for __, __n, s, e in tracer.spans if s <= t < e)
+        assert running == expected
+
+
 def test_miodb_parallel_compaction_visible_in_trace():
     system = HybridMemorySystem()
     tracer = JobTracer(system.executor)
