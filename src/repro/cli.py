@@ -214,8 +214,99 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """Drive a sharded cluster: routed multi-client load, optional rebalance."""
+    from repro.cluster import (
+        AdmissionControl,
+        ClientSpec,
+        Cluster,
+        ShardRouter,
+        cluster_metrics_json,
+        run_cluster,
+        write_cluster_trace,
+    )
+    from repro.kvstore.values import SizedValue
+    from repro.workloads.keys import key_for
+
+    store_name = args.store[0]
+    if len(args.store) > 1:
+        print("cluster drives one store per run; pick one with --store",
+              file=sys.stderr)
+        return 2
+    cluster = Cluster(store_name, n_shards=args.shards, ssd=args.ssd)
+    router = ShardRouter(
+        cluster,
+        placement_name=args.placement,
+        key_space=args.key_space,
+        vnodes_per_shard=args.vnodes,
+    )
+    recorders = cluster.attach_tracing() if args.trace else None
+    # Preload the key space so reads hit and rebalances have keys to move.
+    for i in range(args.preload):
+        router.put(key_for(i), SizedValue(("preload", i), args.value_size))
+    router.quiesce()
+    router.reset_window()
+
+    theta = args.theta if args.theta > 0 else None
+    rate = float("inf") if args.rate <= 0 else args.rate
+    clients = [
+        ClientSpec(
+            n_ops=args.ops,
+            rate_per_s=rate,
+            key_space=args.key_space,
+            read_fraction=args.read_frac,
+            theta=theta,
+            value_size=args.value_size,
+            seed=args.seed + i,
+        )
+        for i in range(args.clients)
+    ]
+    admission = AdmissionControl(
+        max_queue_depth=args.max_queue_depth, policy=args.admission
+    )
+    result = run_cluster(
+        router,
+        clients,
+        admission=admission,
+        rebalance_every=args.rebalance_every,
+        hot_factor=args.hot_factor,
+    )
+    router.quiesce()
+
+    rows = [
+        [d["shard"], d["ops"], sum(d["drops"].values()), d["max_queue_depth"],
+         d["p50_us"], d["p99_us"], d["p999_us"]]
+        for d in result.per_shard
+    ]
+    print(format_table(
+        ["shard", "ops", "drops", "max_q", "p50_us", "p99_us", "p999_us"],
+        rows))
+    drops = ", ".join(f"{k}={v}" for k, v in result.drops.items()) or "none"
+    print(
+        f"\ncluster: {store_name} shards={args.shards} "
+        f"placement={router.placement.name}\n"
+        f"completed {result.completed}/{result.offered} "
+        f"({result.throughput_kiops:.1f} KIOPS over "
+        f"{result.duration_s * 1e3:.2f} sim-ms), drops: {drops}, "
+        f"rebalances: {len(result.rebalances)}"
+    )
+    if args.metrics:
+        path = pathlib.Path(args.metrics)
+        path.write_text(cluster_metrics_json(cluster, router, result))
+        print(f"# metrics: {path}", file=sys.stderr)
+    if recorders is not None:
+        cluster.detach_tracing()
+        write_cluster_trace(cluster, recorders, args.trace)
+        events = sum(len(r) for r in recorders)
+        print(f"# trace: {args.trace} ({events} events)", file=sys.stderr)
+    return 0
+
+
 def cmd_info(args) -> int:
+    from repro.cluster import PLACEMENT_POLICIES
+
     print("stores:", ", ".join(STORE_NAMES))
+    print("placement policies:", ", ".join(sorted(PLACEMENT_POLICIES)))
     rows = []
     for profile in (DRAM_PROFILE, OPTANE_NVM_PROFILE, NVME_SSD_PROFILE):
         rows.append(
@@ -314,6 +405,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print an ASCII gantt of background jobs")
     p.set_defaults(func=cmd_trace)
 
+    p = sub.add_parser(
+        "cluster", help="sharded serving layer: routed load + backpressure"
+    )
+    _add_common(p)
+    p.add_argument("--shards", type=int, default=4,
+                   help="number of shard stores on the shared clock")
+    p.add_argument("--placement", choices=["hash-ring", "range"],
+                   default="hash-ring")
+    p.add_argument("--vnodes", type=int, default=32,
+                   help="virtual nodes per shard (hash-ring only)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="independent load-generating clients")
+    p.add_argument("--ops", type=int, default=1000, help="ops per client")
+    p.add_argument("--rate", type=float, default=0.0, metavar="OPS_PER_S",
+                   help="open-loop arrival rate per client "
+                        "(<= 0 means closed-loop)")
+    p.add_argument("--theta", type=float, default=0.0,
+                   help="zipfian skew in (0, 1); 0 means uniform keys")
+    p.add_argument("--read-frac", type=float, default=0.5)
+    p.add_argument("--key-space", type=int, default=10000)
+    p.add_argument("--preload", type=int, default=2000,
+                   help="keys written through the router before driving")
+    p.add_argument("--max-queue-depth", type=int, default=64)
+    p.add_argument("--admission", choices=["reject", "defer"],
+                   default="reject")
+    p.add_argument("--rebalance-every", type=int, default=0, metavar="N",
+                   help="hot-shard check every N completions (0 = off)")
+    p.add_argument("--hot-factor", type=float, default=1.5)
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="write the deterministic cluster metrics JSON")
+    p.set_defaults(func=cmd_cluster, value_size=256)
+
     p = sub.add_parser("info", help="stores, device profiles, scaling")
     p.set_defaults(func=cmd_info)
 
@@ -324,7 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--perf-store", default="miodb", metavar="STORE")
     p.add_argument("--ops-scale", choices=["tiny", "default"], default="default")
     p.add_argument("--repeats", type=int, default=3)
-    p.add_argument("--kernels", default="put,get,scan,flush,compact")
+    p.add_argument("--kernels", default="put,get,scan,flush,compact,cluster")
     p.add_argument("--json", default="BENCH_perf.json")
     p.add_argument("--check-band", metavar="LABEL", default=None,
                    help="compare against recorded run LABEL instead of "

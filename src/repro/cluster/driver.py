@@ -1,0 +1,396 @@
+"""Multi-client open-loop driving of a sharded cluster.
+
+This generalises :func:`repro.workloads.openloop.run_open_loop` to a
+cluster: several clients issue requests with independent Poisson (or
+fixed-gap) arrival processes, requests route through a
+:class:`~repro.cluster.router.ShardRouter`, and every shard has a
+bounded admission queue.  A client with ``rate_per_s=math.inf`` runs
+closed-loop (its next request arrives when the previous one completes),
+so saturating and rate-limited clients mix through one code path.
+
+The serving model matches the repo's shared-clock discipline: the
+cluster executes one foreground request at a time on the shared
+:class:`~repro.sim.clock.SimClock` while background jobs of *all*
+shards overlap freely.  Requests whose arrival time has passed wait in
+their shard's FIFO queue; a queue at ``max_queue_depth`` sheds load --
+immediately (``"reject"``) or after bounded defers (``"defer"``) --
+with every shed request tagged by a cause from the closed
+:data:`DROP_CAUSES` vocabulary.
+
+Response time is completion minus *arrival* (queueing included), pooled
+across shards with :meth:`LatencyRecorder.merge` for cluster-level
+percentiles.
+"""
+
+import heapq
+import itertools
+import math
+from typing import Dict, List, Optional
+
+from repro.kvstore.values import SizedValue
+from repro.sim.latency import LatencyRecorder, LatencySummary
+from repro.sim.rng import XorShiftRng
+from repro.workloads.keys import key_for
+from repro.workloads.zipfian import UniformGenerator, ZipfianGenerator
+
+#: Closed vocabulary of load-shedding causes.
+DROP_QUEUE_FULL = "queue_full"          # rejected: shard queue at capacity
+DROP_RETRY_EXHAUSTED = "retry_exhausted"  # deferred max_retries times, still full
+DROP_CAUSES = (DROP_QUEUE_FULL, DROP_RETRY_EXHAUSTED)
+
+ADMISSION_POLICIES = ("reject", "defer")
+
+
+class AdmissionControl:
+    """Backpressure policy: bounded per-shard queues with reject/defer."""
+
+    def __init__(
+        self,
+        max_queue_depth: int = 64,
+        policy: str = "reject",
+        max_retries: int = 3,
+        defer_s: float = 1e-4,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {policy!r}; "
+                f"choose from {ADMISSION_POLICIES}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if defer_s <= 0:
+            raise ValueError(f"defer_s must be positive, got {defer_s}")
+        self.max_queue_depth = max_queue_depth
+        self.policy = policy
+        self.max_retries = max_retries
+        self.defer_s = defer_s
+
+
+class ClientSpec:
+    """One load-generating client.
+
+    ``rate_per_s`` is the open-loop arrival rate; ``math.inf`` makes the
+    client closed-loop.  Keys are drawn from the canonical ``key_for``
+    space: uniformly, or zipfian with ``theta`` skew (rank 0 -- the
+    hottest key -- is index 0, so skewed clients deterministically
+    concentrate on one region of the ring).
+    """
+
+    def __init__(
+        self,
+        n_ops: int,
+        rate_per_s: float,
+        key_space: int,
+        read_fraction: float = 0.5,
+        theta: Optional[float] = None,
+        value_size: int = 256,
+        seed: int = 1,
+        poisson: bool = True,
+    ) -> None:
+        if n_ops < 0:
+            raise ValueError(f"n_ops must be >= 0, got {n_ops}")
+        if not math.isinf(rate_per_s) and rate_per_s <= 0:
+            raise ValueError(f"rate must be positive or inf, got {rate_per_s}")
+        if key_space <= 0:
+            raise ValueError(f"key_space must be positive, got {key_space}")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {read_fraction}"
+            )
+        self.n_ops = n_ops
+        self.rate_per_s = rate_per_s
+        self.key_space = key_space
+        self.read_fraction = read_fraction
+        self.theta = theta
+        self.value_size = value_size
+        self.seed = seed
+        self.poisson = poisson
+
+    @property
+    def closed_loop(self) -> bool:
+        return math.isinf(self.rate_per_s)
+
+
+class _Request:
+    __slots__ = ("client", "kind", "key", "tag", "arrival", "retries")
+
+    def __init__(self, client: int, kind: str, key: bytes, tag, arrival: float):
+        self.client = client
+        self.kind = kind
+        self.key = key
+        self.tag = tag
+        self.arrival = arrival
+        self.retries = 0
+
+
+class _ClientState:
+    """Deterministic per-client op stream and arrival process."""
+
+    def __init__(self, index: int, spec: ClientSpec) -> None:
+        self.index = index
+        self.spec = spec
+        self.issued = 0
+        self.completed = 0
+        self.dropped = 0
+        rng = XorShiftRng(spec.seed)
+        self._gap_rng = rng.fork(1)
+        self._op_rng = rng.fork(2)
+        key_rng = rng.fork(3)
+        if spec.theta is None:
+            self._keys = UniformGenerator(spec.key_space, key_rng)
+        else:
+            self._keys = ZipfianGenerator(spec.key_space, key_rng, spec.theta)
+
+    def next_gap(self) -> float:
+        if self.spec.poisson:
+            u = self._gap_rng.next_float()
+            return -math.log(1.0 - u) / self.spec.rate_per_s
+        return 1.0 / self.spec.rate_per_s
+
+    def make_request(self, arrival: float) -> _Request:
+        kind = (
+            "get"
+            if self._op_rng.next_float() < self.spec.read_fraction
+            else "put"
+        )
+        tag = (self.index, self.issued)
+        self.issued += 1
+        return _Request(self.index, kind, key_for(self._keys.next()), tag, arrival)
+
+
+class ClusterRunResult:
+    """Outcome of one cluster driving run."""
+
+    def __init__(
+        self,
+        offered: int,
+        completed: int,
+        drops: Dict[str, int],
+        duration_s: float,
+        response: LatencySummary,
+        per_shard: List[dict],
+        rebalances: List[object],
+        recorders: List[LatencyRecorder],
+    ) -> None:
+        self.offered = offered
+        self.completed = completed
+        self.drops = drops
+        self.duration_s = duration_s
+        self.response = response
+        self.per_shard = per_shard
+        self.rebalances = rebalances
+        self.recorders = recorders
+
+    @property
+    def dropped(self) -> int:
+        return sum(self.drops.values())
+
+    @property
+    def throughput_kiops(self) -> float:
+        """Completed operations per simulated second, in thousands."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s / 1e3
+
+    def merged_recorder(self) -> LatencyRecorder:
+        """Response samples of every shard pooled into one recorder."""
+        merged = LatencyRecorder()
+        for recorder in self.recorders:
+            merged = merged.merge(recorder)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterRunResult(completed={self.completed}/{self.offered}, "
+            f"dropped={self.dropped}, {self.throughput_kiops:.1f} KIOPS, "
+            f"p99={self.response.p99 * 1e6:.1f}us)"
+        )
+
+
+def run_cluster(
+    router,
+    clients: List[ClientSpec],
+    admission: Optional[AdmissionControl] = None,
+    rebalance_every: int = 0,
+    hot_factor: float = 1.5,
+    max_rebalances: int = 4,
+) -> ClusterRunResult:
+    """Drive ``clients`` against ``router``; returns cluster-level metrics.
+
+    ``rebalance_every`` > 0 runs a hot-shard check every that many
+    completed requests (see :mod:`repro.cluster.rebalance`); at most
+    ``max_rebalances`` ownership moves are performed.  Everything --
+    arrivals, routing, shedding, migration -- is a pure function of the
+    specs' seeds and the cluster's state, so two runs with the same
+    inputs produce identical results.
+    """
+    from collections import deque
+
+    from repro.cluster.rebalance import maybe_rebalance
+
+    admission = admission or AdmissionControl()
+    cluster = router.cluster
+    clock = cluster.clock
+    stats = cluster.stats
+    n_shards = cluster.n_shards
+
+    states = [_ClientState(i, spec) for i, spec in enumerate(clients)]
+    tiebreak = itertools.count()
+    heap: List = []
+    start_time = clock.now
+
+    def push(request: _Request, at: Optional[float] = None) -> None:
+        """Queue ``request`` for admission at ``at`` (default: its arrival).
+
+        Deferred retries re-enter at a later instant but keep their
+        original arrival, so their response time still counts the full
+        wait since first arrival.
+        """
+        when = request.arrival if at is None else at
+        heapq.heappush(heap, (when, next(tiebreak), request))
+
+    def schedule_next(state: _ClientState, base: float) -> None:
+        """Queue the client's next request; open-loop paces off ``base``."""
+        if state.issued >= state.spec.n_ops:
+            return
+        if state.spec.closed_loop:
+            push(state.make_request(clock.now))
+        else:
+            push(state.make_request(base + state.next_gap()))
+
+    for state in states:
+        if state.spec.n_ops > 0:
+            if state.spec.closed_loop:
+                push(state.make_request(start_time))
+            else:
+                push(state.make_request(start_time + state.next_gap()))
+
+    queues = [deque() for __ in range(n_shards)]
+    recorders = [LatencyRecorder() for __ in range(n_shards)]
+    shard_completed = [0] * n_shards
+    shard_drops: List[Dict[str, int]] = [dict() for __ in range(n_shards)]
+    max_depth = [0] * n_shards
+    drops: Dict[str, int] = {}
+    completed = 0
+    rebalances: List[object] = []
+    since_check = 0
+
+    def drop(request: _Request, shard: int, cause: str) -> None:
+        drops[cause] = drops.get(cause, 0) + 1
+        shard_drops[shard][cause] = shard_drops[shard].get(cause, 0) + 1
+        stats.add(f"cluster.drop.{cause}", 1)
+        state = states[request.client]
+        state.dropped += 1
+        if state.spec.closed_loop and state.issued < state.spec.n_ops:
+            # The closed-loop client saw the rejection; it retries its
+            # *next* op after a short backoff rather than spinning at
+            # the same instant.
+            push(state.make_request(clock.now + admission.defer_s))
+
+    while heap or any(queues):
+        if heap and not any(queues):
+            # Idle: jump to the next arrival and apply background work.
+            clock.advance_to(heap[0][0])
+            cluster.settle_all()
+
+        # Admit every arrival that is due.
+        while heap and heap[0][0] <= clock.now:
+            __, __, request = heapq.heappop(heap)
+            fresh = request.retries == 0
+            shard = router.route(request.key)
+            if len(queues[shard]) >= admission.max_queue_depth:
+                if (
+                    admission.policy == "defer"
+                    and request.retries < admission.max_retries
+                ):
+                    request.retries += 1
+                    stats.add("cluster.deferred", 1)
+                    push(request, at=clock.now + admission.defer_s)
+                else:
+                    cause = (
+                        DROP_RETRY_EXHAUSTED
+                        if request.retries
+                        else DROP_QUEUE_FULL
+                    )
+                    drop(request, shard, cause)
+            else:
+                queues[shard].append(request)
+                depth = len(queues[shard])
+                if depth > max_depth[shard]:
+                    max_depth[shard] = depth
+            if fresh and not states[request.client].spec.closed_loop:
+                schedule_next(states[request.client], request.arrival)
+
+        # Serve the earliest-admitted request (FIFO across shards).
+        serve_shard = -1
+        serve_key = None
+        for shard_id in range(n_shards):
+            if queues[shard_id]:
+                head = queues[shard_id][0]
+                key = (head.arrival, head.tag)
+                if serve_key is None or key < serve_key:
+                    serve_key = key
+                    serve_shard = shard_id
+        if serve_shard < 0:
+            continue
+        request = queues[serve_shard].popleft()
+        shard = cluster.shards[serve_shard]
+        state = states[request.client]
+        if request.kind == "get":
+            shard.store.get(request.key)
+        else:
+            shard.store.put(
+                request.key, SizedValue(request.tag, state.spec.value_size)
+            )
+        recorders[serve_shard].record(
+            "response", clock.now, clock.now - request.arrival
+        )
+        shard_completed[serve_shard] += 1
+        completed += 1
+        state.completed += 1
+        if state.spec.closed_loop:
+            schedule_next(state, clock.now)
+
+        if rebalance_every > 0:
+            since_check += 1
+            if since_check >= rebalance_every:
+                since_check = 0
+                if len(rebalances) < max_rebalances:
+                    moved = maybe_rebalance(router, factor=hot_factor)
+                    if moved is not None:
+                        rebalances.append(moved)
+                router.reset_window()
+
+    duration = clock.now - start_time
+    merged = LatencyRecorder()
+    for recorder in recorders:
+        merged = merged.merge(recorder)
+    per_shard = []
+    for shard_id in range(n_shards):
+        summary = recorders[shard_id].summary("response")
+        per_shard.append(
+            {
+                "shard": shard_id,
+                "ops": shard_completed[shard_id],
+                "drops": dict(sorted(shard_drops[shard_id].items())),
+                "max_queue_depth": max_depth[shard_id],
+                "p50_us": summary.p50 * 1e6,
+                "p99_us": summary.p99 * 1e6,
+                "p999_us": summary.p999 * 1e6,
+            }
+        )
+    offered = sum(state.issued for state in states)
+    return ClusterRunResult(
+        offered=offered,
+        completed=completed,
+        drops=dict(sorted(drops.items())),
+        duration_s=duration,
+        response=merged.summary("response"),
+        per_shard=per_shard,
+        rebalances=rebalances,
+        recorders=recorders,
+    )

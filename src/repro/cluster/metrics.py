@@ -1,0 +1,152 @@
+"""Cluster-level metrics and trace export.
+
+Per-shard state is already captured natively -- every shard's
+:class:`~repro.mem.system.HybridMemorySystem` has its own stats
+registry, latency recorder, devices, and (optionally) trace recorder.
+This module assembles them into cluster-level artifacts:
+
+- :func:`cluster_metrics_snapshot` / :func:`cluster_metrics_json` -- a
+  deterministic grouped-metrics document: per-shard counter families,
+  device traffic, and latency summaries, plus placement state,
+  cluster counters (routed ops, drops by cause, migration bytes), and
+  -- when a driver result is supplied -- response-time percentiles
+  pooled with :meth:`LatencyRecorder.merge`.
+- :func:`cluster_chrome_trace` / :func:`write_cluster_trace` -- the
+  shards' trace streams merged into one Chrome/Perfetto document, one
+  *process* per shard (``pid`` = shard id + 1) with shard-id metadata,
+  so the shared timeline reads as a cluster gantt.
+
+Everything is keyed and ordered deterministically: the same seed
+produces byte-identical JSON.
+"""
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.export import metrics_snapshot
+
+
+def cluster_metrics_snapshot(cluster, router=None, result=None) -> dict:
+    """A hierarchical metrics document for one finished cluster run."""
+    doc: Dict = {
+        "schema": 1,
+        "store": cluster.store_name,
+        "n_shards": cluster.n_shards,
+        "sim_time_s": cluster.clock.now,
+        "cluster": cluster.stats.snapshot_grouped(),
+        "shards": {
+            str(shard.shard_id): metrics_snapshot(shard.system)
+            for shard in cluster.shards
+        },
+    }
+    if router is not None:
+        doc["placement"] = router.placement.describe()
+        doc["window_shard_ops"] = list(router.shard_ops)
+    if result is not None:
+        merged = result.merged_recorder()
+        doc["driver"] = {
+            "offered": result.offered,
+            "completed": result.completed,
+            "drops": dict(sorted(result.drops.items())),
+            "duration_s": result.duration_s,
+            "throughput_kiops": result.throughput_kiops,
+            "response_us": merged.summary("response").as_micros(),
+            "per_shard": result.per_shard,
+            "rebalances": [
+                {
+                    "from_shard": r.from_shard,
+                    "to_shard": r.to_shard,
+                    "moved_slots": len(r.moved_slots),
+                    "moved_keys": r.moved_keys,
+                    "moved_bytes": r.moved_bytes,
+                    "at_time_s": r.at_time,
+                }
+                for r in result.rebalances
+            ],
+        }
+    return doc
+
+
+def cluster_metrics_json(cluster, router=None, result=None) -> str:
+    """The cluster snapshot serialized deterministically."""
+    doc = cluster_metrics_snapshot(cluster, router=router, result=result)
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def cluster_chrome_trace(cluster, recorders: List[object]) -> dict:
+    """Shard trace streams merged into one multi-process trace document.
+
+    ``recorders`` is the list returned by ``cluster.attach_tracing()``
+    (shard order).  Each shard becomes its own trace *process*: ``pid``
+    is ``shard_id + 1``, the process name carries the shard id and
+    store name, and every track keeps its per-shard ``tid`` assignment.
+    Event args gain a ``"shard"`` entry so filtering by shard works in
+    Perfetto queries too.
+    """
+    if len(recorders) != cluster.n_shards:
+        raise ValueError(
+            f"expected {cluster.n_shards} recorders, got {len(recorders)}"
+        )
+    us = 1e6
+    trace_events: List[dict] = []
+    for shard, recorder in zip(cluster.shards, recorders):
+        pid = shard.shard_id + 1
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {
+                    "name": f"shard{shard.shard_id}:{cluster.store_name}",
+                    "shard": shard.shard_id,
+                },
+            }
+        )
+        tids: Dict[str, int] = {}
+        for track in recorder.tracks():
+            tids[track] = len(tids) + 1
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tids[track],
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        for event in recorder.events:
+            record = {
+                "name": event.name,
+                "cat": event.cat,
+                "pid": pid,
+                "tid": tids[event.track],
+                "ts": event.ts * us,
+            }
+            if event.dur is not None:
+                record["ph"] = "X"
+                record["dur"] = event.dur * us
+            else:
+                record["ph"] = "i"
+                record["s"] = "t"
+            args = dict(event.args) if event.args else {}
+            args["shard"] = shard.shard_id
+            record["args"] = args
+            trace_events.append(record)
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.cluster", "schema": 1},
+        "traceEvents": trace_events,
+    }
+
+
+def cluster_trace_json(cluster, recorders: List[object]) -> str:
+    """The merged trace serialized deterministically (sorted keys)."""
+    doc = cluster_chrome_trace(cluster, recorders)
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_cluster_trace(cluster, recorders: List[object], path) -> None:
+    """Serialize the merged shard trace to ``path`` (byte-reproducible)."""
+    with open(path, "w") as fh:
+        fh.write(cluster_trace_json(cluster, recorders))

@@ -1,0 +1,239 @@
+"""The cluster topology and the shard router.
+
+A :class:`Cluster` instantiates N shards -- each a full store built by
+:func:`repro.bench.factory.make_store` on its own
+:class:`~repro.mem.system.HybridMemorySystem` -- coordinated on one
+shared :class:`~repro.sim.clock.SimClock`.  Sharing the clock makes the
+shards' foreground operations and background jobs mutually ordered: one
+serving context drives the whole cluster (the "shared-clock" model), so
+aggregate throughput scales with shard count only as far as per-shard
+work actually gets cheaper (smaller structures, overlapped background
+work) -- the saturation point the scale-out benchmark measures.
+
+A :class:`ShardRouter` exposes the single-store ``KVStore`` API over the
+cluster: ``put``/``get``/``delete`` route by placement policy, ``scan``
+scatter-gathers across every shard and merges (keys are disjoint across
+shards, so the merge is a plain ordered union).  The router also keeps
+the per-slot traffic counts that hot-shard detection and rebalancing
+consume.
+"""
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.placement import PlacementPolicy, make_placement
+from repro.sim.clock import SimClock
+from repro.sim.latency import LatencyRecorder
+from repro.sim.stats import StatsRegistry
+
+
+class Shard:
+    """One cluster member: a store on its own simulated machine."""
+
+    __slots__ = ("shard_id", "store", "system")
+
+    def __init__(self, shard_id: int, store, system) -> None:
+        self.shard_id = shard_id
+        self.store = store
+        self.system = system
+
+    def __repr__(self) -> str:
+        return f"Shard({self.shard_id}, {self.store.name})"
+
+
+class Cluster:
+    """N shard stores on one shared simulated clock."""
+
+    def __init__(
+        self,
+        store_name: str = "miodb",
+        n_shards: int = 4,
+        scale=None,
+        ssd: bool = False,
+        **overrides,
+    ) -> None:
+        # Imported here: the bench factory imports stores which import
+        # obs; keeping cluster importable without the factory at module
+        # import time avoids any cycle if stores ever grow cluster hooks.
+        from repro.bench.factory import make_store
+        from repro.mem.system import HybridMemorySystem
+
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.store_name = store_name
+        self.clock = SimClock()
+        #: Cluster-level counters (routed ops, drops, migration bytes).
+        self.stats = StatsRegistry()
+        self.shards: List[Shard] = []
+        for shard_id in range(n_shards):
+            if ssd:
+                system = HybridMemorySystem.with_ssd(clock=self.clock)
+            else:
+                system = HybridMemorySystem(clock=self.clock)
+            store, __ = make_store(
+                store_name, scale, system=system, ssd=ssd, **overrides
+            )
+            self.shards.append(Shard(shard_id, store, system))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def settle_all(self) -> None:
+        """Apply every shard's background effects due at the current time."""
+        for shard in self.shards:
+            shard.system.executor.settle()
+
+    def quiesce(self) -> float:
+        """Drain background work on every shard; returns the final time.
+
+        Draining one shard advances the shared clock, which can make
+        another shard's jobs due; loop until every executor is idle.
+        """
+        while True:
+            pending = False
+            for shard in self.shards:
+                if shard.system.executor.pending:
+                    shard.system.executor.drain()
+                    pending = True
+            if not pending:
+                return self.clock.now
+
+    def attach_tracing(self) -> List[object]:
+        """Attach a fresh trace recorder to every shard.
+
+        Returns the recorders in shard order; all share the cluster
+        clock, so their event streams interleave on one timeline.  Use
+        :func:`repro.cluster.metrics.cluster_chrome_trace` to export
+        them as one multi-process Perfetto document with shard-id
+        metadata.
+        """
+        return [shard.system.attach_tracing() for shard in self.shards]
+
+    def detach_tracing(self) -> None:
+        """Detach every shard's recorder (idempotent)."""
+        for shard in self.shards:
+            shard.system.detach_tracing()
+
+    def merged_latency(self) -> LatencyRecorder:
+        """Store-level latency samples pooled across every shard."""
+        merged = LatencyRecorder()
+        for shard in self.shards:
+            merged.merge_from(shard.system.latency)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster({self.store_name!r}, shards={self.n_shards}, "
+            f"t={self.clock.now:.6f})"
+        )
+
+
+class ShardRouter:
+    """Routes the ``KVStore`` API across a cluster by placement policy."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        placement: Optional[PlacementPolicy] = None,
+        placement_name: str = "hash-ring",
+        key_space: Optional[int] = None,
+        vnodes_per_shard: int = 32,
+    ) -> None:
+        if placement is not None and placement.n_shards != cluster.n_shards:
+            raise ValueError(
+                f"placement covers {placement.n_shards} shards but the "
+                f"cluster has {cluster.n_shards}"
+            )
+        self.cluster = cluster
+        self.placement = placement or make_placement(
+            placement_name,
+            cluster.n_shards,
+            key_space=key_space,
+            vnodes_per_shard=vnodes_per_shard,
+        )
+        #: Routed ops per shard since the last :meth:`reset_window`.
+        self.shard_ops: List[int] = [0] * cluster.n_shards
+        #: Routed ops per placement slot (ring point / range index)
+        #: since the last window reset -- the granularity rebalancing moves.
+        self.slot_ops: Dict[int, int] = {}
+
+    # ------------------------------------------------------------ routing
+
+    def route(self, key: bytes) -> int:
+        """The shard id serving ``key``; records window traffic counts."""
+        slot, shard = self.placement.locate(key)
+        self.shard_ops[shard] += 1
+        self.slot_ops[slot] = self.slot_ops.get(slot, 0) + 1
+        self.cluster.stats.add("cluster.routed_ops", 1)
+        return shard
+
+    def reset_window(self) -> None:
+        """Zero the traffic window (after a hot-shard check/rebalance)."""
+        self.shard_ops = [0] * self.cluster.n_shards
+        self.slot_ops = {}
+
+    def shard_store(self, shard_id: int):
+        """The store behind ``shard_id``."""
+        return self.cluster.shards[shard_id].store
+
+    # ------------------------------------------------------- KVStore API
+
+    def put(self, key: bytes, value) -> float:
+        """Insert or update ``key`` on its owning shard."""
+        return self.shard_store(self.route(key)).put(key, value)
+
+    def get(self, key: bytes) -> Tuple[Optional[object], float]:
+        """Point lookup on the owning shard."""
+        return self.shard_store(self.route(key)).get(key)
+
+    def delete(self, key: bytes) -> float:
+        """Tombstone ``key`` on its owning shard."""
+        return self.shard_store(self.route(key)).delete(key)
+
+    def scan(self, start_key: bytes, count: int):
+        """Scatter-gather range query across every shard.
+
+        Each shard returns its first ``count`` live pairs from
+        ``start_key``; the union is merged in key order and truncated.
+        Because placement assigns each key to exactly one shard, the
+        merged stream has no duplicates.  The reported latency is the
+        total simulated time the scatter-gather occupied (the shards
+        execute in sequence on the shared clock).
+        """
+        if count < 0:
+            raise ValueError(f"scan count must be >= 0, got {count}")
+        start = self.cluster.clock.now
+        results = []
+        for shard in self.cluster.shards:
+            pairs, __ = shard.store.scan(start_key, count)
+            results.append(pairs)
+        self.cluster.stats.add("cluster.scatter_scans", 1)
+        merged = list(heapq.merge(*results))[:count]
+        return merged, self.cluster.clock.now - start
+
+    def items(self, start_key: bytes = b"\x00", end_key: Optional[bytes] = None,
+              page_size: int = 128):
+        """Iterate live ``(key, value)`` pairs cluster-wide in key order."""
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        cursor = start_key
+        while True:
+            pairs, __ = self.scan(cursor, page_size)
+            for key, value in pairs:
+                if end_key is not None and key >= end_key:
+                    return
+                yield key, value
+            if len(pairs) < page_size:
+                return
+            cursor = pairs[-1][0] + b"\x00"
+
+    def quiesce(self) -> float:
+        """Drain background work on every shard."""
+        return self.cluster.quiesce()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter({self.placement.name}, "
+            f"shards={self.cluster.n_shards})"
+        )

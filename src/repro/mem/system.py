@@ -28,8 +28,12 @@ class HybridMemorySystem:
         nvm_capacity: Optional[int] = None,
         ssd_capacity: Optional[int] = None,
         cpu: Optional[CpuCostModel] = None,
+        clock: Optional[SimClock] = None,
     ) -> None:
-        self.clock = SimClock()
+        # ``clock`` lets several systems share one timeline -- the
+        # repro.cluster layer builds N shard machines on one SimClock so
+        # their foreground ops and background jobs are mutually ordered.
+        self.clock = clock if clock is not None else SimClock()
         self.executor = Executor(self.clock)
         self.dram = Device(dram_profile, dram_capacity)
         self.nvm = Device(nvm_profile, nvm_capacity)

@@ -153,3 +153,16 @@ class LatencyRecorder:
         """Absorb all samples from ``other``."""
         for kind, rows in other._samples.items():
             self._samples.setdefault(kind, []).extend(rows)
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """A new recorder pooling this recorder's samples with ``other``'s.
+
+        Neither input is mutated.  Percentiles of the merged recorder
+        equal percentiles computed over the pooled sample list -- the
+        property multi-shard runs rely on to report cluster-level tails
+        without concatenating sample lists ad hoc.
+        """
+        merged = LatencyRecorder()
+        merged.merge_from(self)
+        merged.merge_from(other)
+        return merged

@@ -29,6 +29,8 @@ KEY_FAMILIES: Dict[str, str] = {
     "gc": "lazy-copy garbage collection: reclaimed_bytes",
     "op": "operation counts: put, get, scan, delete, batch",
     "recover": "crash recovery: count, time_s, replayed, dropped_jobs",
+    "cluster": "sharded serving layer: routed ops, drops by cause, "
+               "rebalances, migrated_keys, migrated_bytes",
 }
 
 

@@ -9,9 +9,14 @@ production tail latency.
 
 ``run_open_loop`` replays an operation stream with exponential or fixed
 inter-arrival gaps and reports *response times* (completion minus
-arrival), which include time spent waiting for the store.
+arrival), which include time spent waiting for the store.  Passing
+``rate_per_s=math.inf`` selects the closed-loop fast path: each request
+arrives the instant the previous one completes, so responses degenerate
+to service times.  Cluster drivers use this to mix saturating and
+rate-limited clients through one code path.
 """
 
+import math
 from typing import Callable, Optional
 
 from repro.sim.latency import LatencyRecorder, LatencySummary
@@ -31,7 +36,13 @@ class OpenLoopResult:
 
     @property
     def saturated(self) -> bool:
-        """True when the store could not keep up with the offered load."""
+        """True when the store could not keep up with the offered load.
+
+        A closed-loop run (``offered_rate=inf``) is by definition paced
+        by the store, so it never falls behind its own arrivals.
+        """
+        if math.isinf(self.offered_rate):
+            return False
         return self.achieved_rate < 0.95 * self.offered_rate
 
     def __repr__(self) -> str:
@@ -56,28 +67,35 @@ def run_open_loop(
     store advances the simulated clock by its service time).  Arrivals
     are scheduled independently; if the store is still busy when a
     request arrives, the request queues and its response time includes
-    the wait.
+    the wait.  ``rate_per_s=math.inf`` runs closed-loop: every request
+    arrives exactly when the previous one finished (no queueing).
     """
-    if rate_per_s <= 0:
+    closed_loop = math.isinf(rate_per_s)
+    if not closed_loop and rate_per_s <= 0:
         raise ValueError(f"rate must be positive, got {rate_per_s}")
     clock = store.system.clock
     rng = XorShiftRng(seed)
     recorder = LatencyRecorder()
     arrival = clock.now
     max_queue = 0.0
-    import math
 
     for i in range(n_ops):
-        if poisson:
-            gap = -math.log(1.0 - rng.next_float()) / rate_per_s
+        if closed_loop:
+            # Closed loop: the client blocks on each response, so the
+            # next request is issued at the completion instant and the
+            # response time is exactly the service time.
+            arrival = clock.now
         else:
-            gap = 1.0 / rate_per_s
-        arrival += gap
-        # the server (store) is free at clock.now; the request starts at
-        # whichever is later
-        if arrival > clock.now:
-            clock.advance_to(arrival)
-            store.system.executor.settle()
+            if poisson:
+                gap = -math.log(1.0 - rng.next_float()) / rate_per_s
+            else:
+                gap = 1.0 / rate_per_s
+            arrival += gap
+            # the server (store) is free at clock.now; the request starts
+            # at whichever is later
+            if arrival > clock.now:
+                clock.advance_to(arrival)
+                store.system.executor.settle()
         queue_delay = max(0.0, clock.now - arrival)
         max_queue = max(max_queue, queue_delay)
         operations(i)

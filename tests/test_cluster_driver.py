@@ -1,0 +1,178 @@
+"""Tests for the multi-client cluster driver and admission control."""
+
+import math
+
+import pytest
+
+from repro.bench.config import BenchScale
+from repro.cluster import (
+    DROP_CAUSES,
+    DROP_QUEUE_FULL,
+    DROP_RETRY_EXHAUSTED,
+    AdmissionControl,
+    ClientSpec,
+    Cluster,
+    ShardRouter,
+    cluster_metrics_json,
+    run_cluster,
+)
+from repro.kvstore.values import SizedValue
+from repro.workloads.keys import key_for
+
+pytestmark = pytest.mark.cluster_smoke
+
+KB = 1 << 10
+SCALE = BenchScale(memtable_bytes=8 * KB, dataset_bytes=1 << 20, value_size=256)
+
+
+def make_router(n_shards=4, store_name="miodb"):
+    cluster = Cluster(store_name, n_shards=n_shards, scale=SCALE)
+    return ShardRouter(cluster)
+
+
+def preload(router, n=500):
+    for i in range(n):
+        router.put(key_for(i), SizedValue(("seed", i), 256))
+    router.quiesce()
+    router.reset_window()
+
+
+def spec(**kwargs):
+    defaults = dict(n_ops=200, rate_per_s=math.inf, key_space=500, seed=1)
+    defaults.update(kwargs)
+    return ClientSpec(**defaults)
+
+
+def test_spec_and_admission_validation():
+    with pytest.raises(ValueError):
+        ClientSpec(n_ops=-1, rate_per_s=1.0, key_space=10)
+    with pytest.raises(ValueError):
+        ClientSpec(n_ops=1, rate_per_s=0.0, key_space=10)
+    with pytest.raises(ValueError):
+        ClientSpec(n_ops=1, rate_per_s=1.0, key_space=0)
+    with pytest.raises(ValueError):
+        ClientSpec(n_ops=1, rate_per_s=1.0, key_space=10, read_fraction=1.5)
+    with pytest.raises(ValueError):
+        AdmissionControl(max_queue_depth=0)
+    with pytest.raises(ValueError):
+        AdmissionControl(policy="drop-all")
+    with pytest.raises(ValueError):
+        AdmissionControl(max_retries=-1)
+    assert spec().closed_loop
+    assert not spec(rate_per_s=1000.0).closed_loop
+
+
+def test_closed_loop_completes_every_op():
+    router = make_router()
+    preload(router)
+    result = run_cluster(router, [spec(seed=s) for s in (1, 2, 3)])
+    assert result.offered == result.completed == 600
+    assert result.dropped == 0
+    assert result.throughput_kiops > 0
+    assert result.response.count == 600
+
+
+def test_open_loop_low_rate_no_queueing():
+    router = make_router()
+    preload(router)
+    result = run_cluster(
+        router, [spec(rate_per_s=10_000.0, n_ops=150, seed=s) for s in (1, 2)]
+    )
+    assert result.completed == 300
+    assert result.dropped == 0
+    # at 1/10000 s spacing the queue never builds: response ~ service time
+    assert result.response.p99 < 1e-3
+
+
+def test_same_seed_produces_identical_metrics_json():
+    docs = []
+    for __ in range(2):
+        router = make_router()
+        preload(router)
+        result = run_cluster(
+            router,
+            [spec(seed=s, theta=0.6, n_ops=300) for s in (1, 2)],
+            rebalance_every=100,
+        )
+        docs.append(
+            cluster_metrics_json(router.cluster, router, result)
+        )
+    assert docs[0] == docs[1]
+
+
+def test_different_seed_changes_the_run():
+    results = []
+    for seed in (1, 99):
+        router = make_router()
+        preload(router)
+        results.append(run_cluster(router, [spec(seed=seed)]))
+    assert (
+        results[0].merged_recorder().summary("response").mean
+        != results[1].merged_recorder().summary("response").mean
+    )
+
+
+def test_reject_policy_sheds_with_queue_full_cause():
+    router = make_router(n_shards=2)
+    preload(router)
+    admission = AdmissionControl(max_queue_depth=2, policy="reject")
+    # a burst far above service capacity must overflow the tiny queues
+    result = run_cluster(
+        router,
+        [spec(rate_per_s=5_000_000.0, n_ops=400, seed=s) for s in (1, 2)],
+        admission=admission,
+    )
+    assert result.dropped > 0
+    assert set(result.drops) == {DROP_QUEUE_FULL}
+    assert result.completed + result.dropped == result.offered
+    assert all(d["max_queue_depth"] <= 2 for d in result.per_shard)
+
+
+def test_defer_policy_retries_then_exhausts():
+    router = make_router(n_shards=2)
+    preload(router)
+    admission = AdmissionControl(
+        max_queue_depth=2, policy="defer", max_retries=2, defer_s=1e-7
+    )
+    result = run_cluster(
+        router,
+        [spec(rate_per_s=5_000_000.0, n_ops=400, seed=s) for s in (1, 2)],
+        admission=admission,
+    )
+    assert router.cluster.stats.get("cluster.deferred") > 0
+    # every shed request went through the retry ladder first
+    assert set(result.drops) <= {DROP_RETRY_EXHAUSTED}
+    assert result.completed + result.dropped == result.offered
+
+
+def test_drop_causes_vocabulary_is_closed():
+    router = make_router(n_shards=2)
+    preload(router)
+    result = run_cluster(
+        router,
+        [spec(rate_per_s=5_000_000.0, n_ops=300)],
+        admission=AdmissionControl(max_queue_depth=1),
+    )
+    for cause in result.drops:
+        assert cause in DROP_CAUSES
+    for shard in result.per_shard:
+        for cause in shard["drops"]:
+            assert cause in DROP_CAUSES
+
+
+def test_per_shard_accounting_sums_to_totals():
+    router = make_router()
+    preload(router)
+    result = run_cluster(router, [spec(seed=s) for s in (3, 4)])
+    assert sum(d["ops"] for d in result.per_shard) == result.completed
+    merged = result.merged_recorder()
+    assert merged.count("response") == result.completed
+    assert merged.summary("response").p99 == result.response.p99
+
+
+def test_skew_concentrates_traffic():
+    router = make_router()
+    preload(router)
+    run_cluster(router, [spec(theta=0.99, n_ops=600)])
+    counts = sorted(router.shard_ops)
+    assert counts[-1] > 2 * counts[0]

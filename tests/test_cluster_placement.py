@@ -1,0 +1,123 @@
+"""Tests for shard placement policies (hash ring, range partitioning)."""
+
+import pytest
+
+from repro.cluster import (
+    PLACEMENT_POLICIES,
+    HashRingPlacement,
+    RangePlacement,
+    make_placement,
+)
+from repro.cluster.placement import ring_hash
+from repro.workloads.keys import key_for
+
+pytestmark = pytest.mark.cluster_smoke
+
+
+def test_registry_names():
+    assert set(PLACEMENT_POLICIES) == {"hash-ring", "range"}
+
+
+def test_ring_hash_spreads_sequential_keys():
+    # Sequential keys differ only in trailing digits; the finalizer must
+    # still spread them across the 64-bit space (this is the property
+    # plain FNV-1a lacks and the ring's balance depends on).
+    hashes = sorted(ring_hash(key_for(i)) for i in range(1000))
+    span = 1 << 64
+    largest_gap = max(
+        (b - a for a, b in zip(hashes, hashes[1:])),
+        default=span,
+    )
+    assert largest_gap < span // 50
+
+
+def test_hash_ring_balance_uniform_keys():
+    placement = HashRingPlacement(4)
+    counts = [0] * 4
+    for i in range(8000):
+        counts[placement.shard_for(key_for(i))] += 1
+    assert min(counts) > 0.5 * (8000 / 4)
+    assert max(counts) < 1.6 * (8000 / 4)
+
+
+def test_hash_ring_deterministic():
+    a = HashRingPlacement(4)
+    b = HashRingPlacement(4)
+    for i in range(500):
+        assert a.locate(key_for(i)) == b.locate(key_for(i))
+
+
+def test_hash_ring_slots_partition_the_ring():
+    placement = HashRingPlacement(3, vnodes_per_shard=8)
+    slots = [p for shard in range(3) for p in placement.slots_of(shard)]
+    assert sorted(slots) == placement._points
+    assert len(slots) == 3 * 8
+
+
+def test_move_slot_reroutes_only_that_arc():
+    placement = HashRingPlacement(4)
+    keys = [key_for(i) for i in range(2000)]
+    before = {k: placement.locate(k) for k in keys}
+    victim = placement.slots_of(0)[0]
+    assert placement.move_slot(victim, 2) == 0
+    for k in keys:
+        slot, shard = placement.locate(k)
+        if before[k][0] == victim:
+            assert shard == 2
+        else:
+            assert (slot, shard) == before[k]
+
+
+def test_move_slot_validation():
+    placement = HashRingPlacement(2)
+    with pytest.raises(KeyError):
+        placement.move_slot(12345, 1)
+    with pytest.raises(ValueError):
+        placement.move_slot(placement._points[0], 2)
+
+
+def test_range_placement_split():
+    placement = RangePlacement.for_key_space(4, 1000)
+    assert placement.shard_for(key_for(0)) == 0
+    assert placement.shard_for(key_for(250)) == 1
+    assert placement.shard_for(key_for(999)) == 3
+    # keys past the keyspace still land on the last shard
+    assert placement.shard_for(key_for(10**6)) == 3
+
+
+def test_range_placement_preserves_locality():
+    placement = RangePlacement.for_key_space(4, 1000)
+    shards = [placement.shard_for(key_for(i)) for i in range(1000)]
+    assert shards == sorted(shards)
+
+
+def test_range_placement_validation():
+    with pytest.raises(ValueError):
+        RangePlacement(3, [b"b", b"a"])  # not ascending
+    with pytest.raises(ValueError):
+        RangePlacement(3, [b"a"])  # wrong boundary count
+    with pytest.raises(ValueError):
+        RangePlacement.for_key_space(8, 4)  # key space too small
+
+
+def test_make_placement():
+    assert isinstance(make_placement("hash-ring", 4), HashRingPlacement)
+    assert isinstance(
+        make_placement("range", 4, key_space=1000), RangePlacement
+    )
+    with pytest.raises(ValueError):
+        make_placement("range", 4)  # key_space required
+    with pytest.raises(ValueError):
+        make_placement("nope", 4)
+
+
+def test_describe_is_json_friendly():
+    import json
+
+    for placement in (
+        HashRingPlacement(4),
+        RangePlacement.for_key_space(4, 100),
+    ):
+        doc = placement.describe()
+        assert doc["policy"] == placement.name
+        json.dumps(doc)

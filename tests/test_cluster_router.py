@@ -1,0 +1,121 @@
+"""Tests for the cluster topology and the shard router."""
+
+import pytest
+
+from repro.bench.config import BenchScale
+from repro.cluster import Cluster, HashRingPlacement, ShardRouter
+from repro.kvstore.values import SizedValue
+from repro.workloads.keys import key_for
+
+pytestmark = pytest.mark.cluster_smoke
+
+KB = 1 << 10
+SCALE = BenchScale(memtable_bytes=8 * KB, dataset_bytes=1 << 20, value_size=256)
+
+
+def make_router(n_shards=4, store_name="miodb", **kwargs):
+    cluster = Cluster(store_name, n_shards=n_shards, scale=SCALE)
+    return ShardRouter(cluster, **kwargs)
+
+
+def test_shards_share_one_clock():
+    cluster = Cluster("miodb", n_shards=3, scale=SCALE)
+    clocks = {id(shard.system.clock) for shard in cluster.shards}
+    assert clocks == {id(cluster.clock)}
+
+
+def test_cluster_validation():
+    with pytest.raises(ValueError):
+        Cluster("miodb", n_shards=0, scale=SCALE)
+    cluster = Cluster("miodb", n_shards=2, scale=SCALE)
+    with pytest.raises(ValueError):
+        ShardRouter(cluster, placement=HashRingPlacement(4))
+
+
+def test_put_get_delete_route_consistently():
+    router = make_router()
+    for i in range(300):
+        router.put(key_for(i), SizedValue(i, 256))
+    router.quiesce()
+    for i in range(300):
+        value, __ = router.get(key_for(i))
+        assert value is not None and value.tag == i, i
+    router.delete(key_for(7))
+    value, __ = router.get(key_for(7))
+    assert value is None
+
+
+def test_keys_are_spread_across_shards():
+    router = make_router()
+    for i in range(2000):
+        router.put(key_for(i), SizedValue(i, 256))
+    assert all(ops > 0 for ops in router.shard_ops)
+
+
+def test_scan_scatter_gather_matches_flat_order():
+    router = make_router()
+    model = {}
+    for i in range(500):
+        router.put(key_for(i), SizedValue(i, 256))
+        model[key_for(i)] = i
+    router.quiesce()
+    start = key_for(123)
+    pairs, elapsed = router.scan(start, 50)
+    expected = sorted(k for k in model if k >= start)[:50]
+    assert [k for k, __v in pairs] == expected
+    assert all(v.tag == model[k] for k, v in pairs)
+    assert elapsed >= 0
+
+
+def test_scan_validation():
+    router = make_router(n_shards=2)
+    with pytest.raises(ValueError):
+        router.scan(b"a", -1)
+
+
+def test_items_iterates_cluster_in_key_order():
+    router = make_router()
+    for i in range(300):
+        router.put(key_for(i), SizedValue(i, 256))
+    router.quiesce()
+    keys = [k for k, __v in router.items(page_size=37)]
+    assert keys == [key_for(i) for i in range(300)]
+    bounded = [
+        k for k, __v in router.items(start_key=key_for(10), end_key=key_for(20))
+    ]
+    assert bounded == [key_for(i) for i in range(10, 20)]
+
+
+def test_window_counts_and_reset():
+    router = make_router(n_shards=2)
+    for i in range(100):
+        router.get(key_for(i))
+    assert sum(router.shard_ops) == 100
+    assert sum(router.slot_ops.values()) == 100
+    assert router.cluster.stats.get("cluster.routed_ops") == 100
+    router.reset_window()
+    assert router.shard_ops == [0, 0]
+    assert router.slot_ops == {}
+    # the cumulative stat survives the window reset
+    assert router.cluster.stats.get("cluster.routed_ops") == 100
+
+
+def test_quiesce_drains_every_shard():
+    router = make_router()
+    for i in range(800):
+        router.put(key_for(i), SizedValue(i, 1024))
+    router.quiesce()
+    for shard in router.cluster.shards:
+        assert not shard.system.executor.pending
+
+
+def test_range_placement_router():
+    router = make_router(placement_name="range", key_space=400)
+    for i in range(400):
+        router.put(key_for(i), SizedValue(i, 256))
+    router.quiesce()
+    # locality: each quarter of the key space lands wholly on one shard
+    assert router.placement.shard_for(key_for(0)) == 0
+    assert router.placement.shard_for(key_for(399)) == 3
+    pairs, __ = router.scan(key_for(0), 400)
+    assert len(pairs) == 400

@@ -62,3 +62,34 @@ def test_poisson_and_fixed_arrivals_differ():
     pois = run_open_loop(store2, writer(store2), 400, 50_000, poisson=True)
     # bursty arrivals produce a worse tail than a perfectly paced stream
     assert pois.response.p999 >= fixed.response.p999
+
+
+def test_infinite_rate_runs_closed_loop():
+    import math
+
+    store, __ = make_store("miodb", SCALE)
+    result = run_open_loop(store, writer(store), 500, rate_per_s=math.inf)
+    # Closed loop: each op is issued the instant the previous one
+    # completes, so there is never queueing delay.
+    assert result.ops == 500
+    assert result.max_queue_delay == 0.0
+    assert math.isinf(result.offered_rate)
+    # "Achieved < offered" is meaningless at an infinite offered rate.
+    assert not result.saturated
+    assert result.achieved_rate > 0
+
+
+def test_closed_loop_matches_back_to_back_service_times():
+    import math
+
+    store, __ = make_store("miodb", SCALE)
+    closed = run_open_loop(store, writer(store), 300, rate_per_s=math.inf)
+    # A second store driven back-to-back (no pacing at all) takes the
+    # same simulated time as the closed-loop run.
+    store2, system2 = make_store("miodb", SCALE)
+    op = writer(store2)
+    t0 = system2.clock.now
+    for i in range(300):
+        op(i)
+        system2.executor.settle()
+    assert closed.achieved_rate == pytest.approx(300 / (system2.clock.now - t0))

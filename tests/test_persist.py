@@ -155,3 +155,93 @@ def test_disarm():
 def test_arm_validation():
     with pytest.raises(ValueError):
         CrashInjector().arm("p", after_hits=0)
+
+
+def test_disarm_none_clears_every_point_but_keeps_hit_counts():
+    injector = CrashInjector()
+    injector.arm("a")
+    injector.arm("b", after_hits=2)
+    injector.reach("b")  # one hit below the trigger
+    injector.disarm(None)
+    injector.reach("a")
+    injector.reach("b")  # would have fired at hit 2 if still armed
+    assert injector.hits("a") == 1
+    assert injector.hits("b") == 2
+
+
+def test_rearm_after_fire_counts_cumulative_hits():
+    injector = CrashInjector()
+    injector.arm("p")
+    with pytest.raises(SimulatedCrash):
+        injector.reach("p")
+    # Hit counts are cumulative across re-arms: the trigger is "fire on
+    # the Nth total hit", so a re-arm must aim past the hits already
+    # taken.  Two hits from now means after_hits = hits + 2.
+    injector.arm("p", after_hits=injector.hits("p") + 2)
+    injector.reach("p")  # hit 2 of 3: survives
+    with pytest.raises(SimulatedCrash):
+        injector.reach("p")  # hit 3: fires
+    injector.reach("p")  # single-shot again after firing
+
+
+def test_rearm_below_current_hits_fires_on_next_reach():
+    injector = CrashInjector()
+    for __ in range(5):
+        injector.reach("p")
+    injector.arm("p", after_hits=3)  # already past the threshold
+    with pytest.raises(SimulatedCrash):
+        injector.reach("p")
+
+
+def _drive_until_crash(store, n=4000):
+    from repro.kvstore.values import SizedValue
+
+    try:
+        for i in range(n):
+            store.put(b"key%06d" % (i % 300), SizedValue(i, 512))
+    except SimulatedCrash as crash:
+        return crash
+    return None
+
+
+def test_crash_point_fires_from_inside_executor_job():
+    """``flush.after_copy`` is reached inside the flush job's completion
+    callback, which the executor runs when simulated time passes the job
+    deadline -- the crash must propagate out of the store's settle."""
+    from repro.core import MioDB, MioOptions
+    from repro.mem.system import HybridMemorySystem
+
+    injector = CrashInjector()
+    injector.arm("flush.after_copy")
+    store = MioDB(
+        HybridMemorySystem(),
+        MioOptions(memtable_bytes=4 * (1 << 10), num_levels=3),
+        crash_injector=injector,
+    )
+    crash = _drive_until_crash(store)
+    assert crash is not None and crash.point == "flush.after_copy"
+    assert injector.hits("flush.after_copy") == 1
+
+
+def test_rearm_sequencing_across_executor_jobs():
+    """Fire one flush crash, recover, re-arm a *different* flush point on
+    the recovered store, and verify it fires too -- the injector's state
+    machine survives the crash/recover cycle."""
+    from repro.core import MioDB, MioOptions, recover
+    from repro.mem.system import HybridMemorySystem
+
+    injector = CrashInjector()
+    injector.arm("flush.after_copy")
+    store = MioDB(
+        HybridMemorySystem(),
+        MioOptions(memtable_bytes=4 * (1 << 10), num_levels=3),
+        crash_injector=injector,
+    )
+    crash = _drive_until_crash(store)
+    assert crash is not None
+    recovered, __ = recover(store)
+    injector.arm(
+        "flush.after_swizzle", after_hits=injector.hits("flush.after_swizzle") + 1
+    )
+    crash = _drive_until_crash(recovered)
+    assert crash is not None and crash.point == "flush.after_swizzle"

@@ -96,3 +96,37 @@ def test_merge_from():
     b.record("get", 1.0, 2e-6)
     a.merge_from(b)
     assert a.count("get") == 2
+
+
+def test_merge_returns_new_recorder_equal_to_pooled_samples():
+    from repro.sim.rng import XorShiftRng
+
+    rng = XorShiftRng(42)
+    a = LatencyRecorder()
+    b = LatencyRecorder()
+    pooled = LatencyRecorder()
+    for i in range(500):
+        sample = (rng.next_below(1000) + 1) * 1e-7
+        target = a if i % 3 else b
+        target.record("response", i * 1e-4, sample)
+        pooled.record("response", i * 1e-4, sample)
+    merged = a.merge(b)
+    # ``merge`` is pure: a new recorder, inputs untouched.
+    assert merged is not a and merged is not b
+    assert a.count("response") + b.count("response") == 500
+    got = merged.summary("response")
+    want = pooled.summary("response")
+    assert got.count == want.count == 500
+    for attr in ("mean", "p50", "p90", "p99", "p999", "max"):
+        assert getattr(got, attr) == getattr(want, attr), attr
+
+
+def test_merge_keeps_kinds_separate():
+    a = LatencyRecorder()
+    b = LatencyRecorder()
+    a.record("get", 0.0, 1e-6)
+    b.record("put", 0.0, 2e-6)
+    merged = a.merge(b)
+    assert merged.kinds() == ["get", "put"]
+    assert merged.count("get") == 1
+    assert merged.count("put") == 1

@@ -157,3 +157,75 @@ def test_interleaved_deletes_and_rewrites(name):
             assert value is None
         else:
             assert value is not None
+
+
+# ------------------------------------------------- cluster-vs-flat oracle
+
+
+def build_cluster_router(n_shards=4):
+    from repro.bench.config import BenchScale
+    from repro.cluster import Cluster, ShardRouter
+
+    scale = BenchScale(
+        memtable_bytes=8 * KB, dataset_bytes=1 << 20, value_size=300
+    )
+    cluster = Cluster("miodb", n_shards=n_shards, scale=scale)
+    return ShardRouter(cluster)
+
+
+def apply_ops_pairwise(router, flat, ops):
+    """The same op stream through a sharded router and a flat store must
+    produce identical get and scan results at every step."""
+    for op, idx, arg in ops:
+        key = b"key%04d" % idx
+        if op == "put":
+            router.put(key, SizedValue(arg, 300))
+            flat.put(key, SizedValue(arg, 300))
+        elif op == "delete":
+            router.delete(key)
+            flat.delete(key)
+        elif op == "get":
+            routed, __ = router.get(key)
+            direct, __ = flat.get(key)
+            if direct is None:
+                assert routed is None, key
+            else:
+                assert routed is not None and routed.tag == direct.tag, key
+        else:  # scan
+            routed_pairs, __ = router.scan(key, arg)
+            direct_pairs, __ = flat.scan(key, arg)
+            assert [k for k, __v in routed_pairs] == [
+                k for k, __v in direct_pairs
+            ]
+            for (rk, rv), (__dk, dv) in zip(routed_pairs, direct_pairs):
+                assert rv.tag == dv.tag, rk
+    router.quiesce()
+    flat.quiesce()
+    routed_all = list(router.items())
+    direct_all, __ = flat.scan(b"\x00", 10**6)
+    assert [k for k, __v in routed_all] == [k for k, __v in direct_all]
+    for (rk, rv), (__dk, dv) in zip(routed_all, direct_all):
+        assert rv.tag == dv.tag, rk
+
+
+@pytest.mark.cluster_smoke
+@settings(max_examples=15, deadline=None)
+@given(ops=operations)
+def test_cluster_router_matches_flat_store(ops):
+    apply_ops_pairwise(build_cluster_router(), build_store("miodb"), ops)
+
+
+@pytest.mark.cluster_smoke
+def test_cluster_router_matches_flat_store_heavy_stream():
+    router = build_cluster_router()
+    flat = build_store("miodb")
+    ops = []
+    for i in range(1500):
+        ops.append(("put", i % 37, i))
+        if i % 5 == 0:
+            ops.append(("get", (i * 7) % 37, 0))
+        if i % 11 == 0:
+            ops.append(("delete", (i * 3) % 37, 0))
+        if i % 13 == 0:
+            ops.append(("scan", i % 37, 8))
+    apply_ops_pairwise(router, flat, ops)
