@@ -103,8 +103,9 @@ class LevelDBStore(KVStore):
 
     def _schedule_flush(self, table: MemTable):
         entries = memtable_entries(table)
-        seconds = self.system.dram.read(table.data_bytes, sequential=True)
-        sst, build_cost = self.lsm.build_table(entries, f"{self.name}-L0")
+        with self.system.job_scope():
+            seconds = self.system.dram.read(table.data_bytes, sequential=True)
+            sst, build_cost = self.lsm.build_table(entries, f"{self.name}-L0")
         seconds += build_cost
         last_seq = max(e[1] for e in entries) if entries else self.seq
 

@@ -161,29 +161,30 @@ class LeveledLSM:
         for table in all_inputs:
             self._busy.add(table.table_id)
 
-        seconds = 0.0
-        streams = []
-        for table in all_inputs:
-            entries, cost = table.scan_all(self.system.cpu)
-            seconds += cost
-            streams.append(entries)
-        target = level + 1
-        drop_tombstones = target == self.bottom_level
-        # L0 tables overlap: order streams newest table first so, with
-        # equal keys, globally-unique seqs still decide (merge is by seq).
-        merged = list(
-            merge_entry_streams(
-                streams,
-                drop_shadowed=True,
-                drop_tombstones=drop_tombstones,
-                tombstone=TOMBSTONE,
+        with self.system.job_scope():
+            seconds = 0.0
+            streams = []
+            for table in all_inputs:
+                entries, cost = table.scan_all(self.system.cpu)
+                seconds += cost
+                streams.append(entries)
+            target = level + 1
+            drop_tombstones = target == self.bottom_level
+            # L0 tables overlap: order streams newest table first so, with
+            # equal keys, globally-unique seqs still decide (merge is by seq).
+            merged = list(
+                merge_entry_streams(
+                    streams,
+                    drop_shadowed=True,
+                    drop_tombstones=drop_tombstones,
+                    tombstone=TOMBSTONE,
+                )
             )
-        )
-        outputs: List[SSTable] = []
-        for i, chunk in enumerate(self.split_entries(merged)):
-            table, cost = self.build_table(chunk, f"{self.label}-L{target}-{i}")
-            outputs.append(table)
-            seconds += cost
+            outputs: List[SSTable] = []
+            for i, chunk in enumerate(self.split_entries(merged)):
+                table, cost = self.build_table(chunk, f"{self.label}-L{target}-{i}")
+                outputs.append(table)
+                seconds += cost
         bytes_moved = sum(t.data_bytes for t in all_inputs)
 
         def apply() -> None:

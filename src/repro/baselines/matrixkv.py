@@ -199,9 +199,10 @@ class MatrixKVStore(KVStore):
     def _schedule_flush(self, table: MemTable):
         entries = memtable_entries(table)
         row = MatrixRow(self.system, entries, f"{self.name}-row")
-        seconds = self.system.dram.read(table.data_bytes, sequential=True)
-        seconds += self.system.cpu.serialize_time(row.data_bytes)
-        seconds += self.system.nvm.write(row.data_bytes, sequential=True)
+        with self.system.job_scope():
+            seconds = self.system.dram.read(table.data_bytes, sequential=True)
+            seconds += self.system.cpu.serialize_time(row.data_bytes)
+            seconds += self.system.nvm.write(row.data_bytes, sequential=True)
         last_seq = max((e[1] for e in entries), default=self.seq)
 
         def apply() -> None:
@@ -296,29 +297,30 @@ class MatrixKVStore(KVStore):
                 if current is None or entry[1] > current[1]:
                     self._inflight_column[entry[0]] = entry
 
-        seconds = self.system.nvm.read(taken_bytes, sequential=True)
-        seconds += self.system.cpu.deserialize_time(taken_bytes)
-        streams = list(taken_streams)
-        for table in overlaps:
-            entries, cost = table.scan_all(self.system.cpu)
-            seconds += cost
-            streams.append(entries)
-        drop_tombstones = all(
-            not level for level in self.lsm.levels[2:]
-        )
-        merged = list(
-            merge_entry_streams(
-                streams,
-                drop_shadowed=True,
-                drop_tombstones=drop_tombstones,
-                tombstone=TOMBSTONE,
+        with self.system.job_scope():
+            seconds = self.system.nvm.read(taken_bytes, sequential=True)
+            seconds += self.system.cpu.deserialize_time(taken_bytes)
+            streams = list(taken_streams)
+            for table in overlaps:
+                entries, cost = table.scan_all(self.system.cpu)
+                seconds += cost
+                streams.append(entries)
+            drop_tombstones = all(
+                not level for level in self.lsm.levels[2:]
             )
-        )
-        outputs = []
-        for i, chunk in enumerate(self.lsm.split_entries(merged)):
-            table, cost = self.lsm.build_table(chunk, f"{self.name}-col-{i}")
-            outputs.append(table)
-            seconds += cost
+            merged = list(
+                merge_entry_streams(
+                    streams,
+                    drop_shadowed=True,
+                    drop_tombstones=drop_tombstones,
+                    tombstone=TOMBSTONE,
+                )
+            )
+            outputs = []
+            for i, chunk in enumerate(self.lsm.split_entries(merged)):
+                table, cost = self.lsm.build_table(chunk, f"{self.name}-col-{i}")
+                outputs.append(table)
+                seconds += cost
 
         self._column_busy = True
         self._column_cursor = _next_key(high)

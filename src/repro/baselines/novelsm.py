@@ -149,10 +149,11 @@ class NoveLSMStore(KVStore):
         self._ensure_nvm_room(table.skiplist.footprint_bytes)
         entries = memtable_entries(table)
         seconds = 0.0
-        for key, seq, value, value_bytes in entries:
-            node, hops = self.nvm_mt.skiplist.insert(key, seq, value, value_bytes)
-            seconds += self.system.cpu.skiplist_search_time("nvm", max(hops, 1))
-            seconds += self.system.nvm.write(node.nbytes, sequential=False)
+        with self.system.job_scope():
+            for key, seq, value, value_bytes in entries:
+                node, hops = self.nvm_mt.skiplist.insert(key, seq, value, value_bytes)
+                seconds += self.system.cpu.skiplist_search_time("nvm", max(hops, 1))
+                seconds += self.system.nvm.write(node.nbytes, sequential=False)
         last_seq = max((e[1] for e in entries), default=self.seq)
 
         def apply() -> None:
@@ -189,8 +190,9 @@ class NoveLSMStore(KVStore):
         tail = None
         for i, chunk in enumerate(chunks):
             chunk_bytes = sum(len(k) + vb for (k, __, __, vb) in chunk)
-            seconds = self.system.nvm.read(chunk_bytes, sequential=True)
-            sst, build_cost = self.lsm.build_table(chunk, f"{self.name}-L0-{i}")
+            with self.system.job_scope():
+                seconds = self.system.nvm.read(chunk_bytes, sequential=True)
+                sst, build_cost = self.lsm.build_table(chunk, f"{self.name}-L0-{i}")
             seconds += build_cost
             last = i == len(chunks) - 1
 

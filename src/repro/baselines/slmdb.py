@@ -96,20 +96,21 @@ class SLMDBStore(KVStore):
         entries = list(
             merge_entry_streams([memtable_entries(table)], drop_shadowed=True)
         )
-        seconds = self.system.dram.read(table.data_bytes, sequential=True)
-        sst, build_cost = build_sstable(
-            entries, self.system.nvm, self.system.cpu, f"{self.name}-L1"
-        )
-        seconds += build_cost
-        self.system.stats.add(
-            "serialize.time_s", self.system.cpu.serialize_time(sst.data_bytes)
-        )
-        # B+-tree updates: one insert per key, each an NVM pointer chase
-        # plus an in-place node write (this is what makes SLM-DB's
-        # flush+compaction path slow).
-        nodes_before = self.index.node_count
-        for key, seq, __v, __vb in entries:
-            seconds += self._index_put(key, sst, seq)
+        with self.system.job_scope():
+            seconds = self.system.dram.read(table.data_bytes, sequential=True)
+            sst, build_cost = build_sstable(
+                entries, self.system.nvm, self.system.cpu, f"{self.name}-L1"
+            )
+            seconds += build_cost
+            self.system.stats.add(
+                "serialize.time_s", self.system.cpu.serialize_time(sst.data_bytes)
+            )
+            # B+-tree updates: one insert per key, each an NVM pointer chase
+            # plus an in-place node write (this is what makes SLM-DB's
+            # flush+compaction path slow).
+            nodes_before = self.index.node_count
+            for key, seq, __v, __vb in entries:
+                seconds += self._index_put(key, sst, seq)
         self._grow_index_arena(nodes_before)
         last_seq = max((e[1] for e in entries), default=self.seq)
 
@@ -179,38 +180,39 @@ class SLMDBStore(KVStore):
         candidates = self._pick_candidates()
         if len(candidates) < 2:
             return
-        seconds = len(self.tables) * self.system.cpu.compare_cost * 8  # selection
-        streams = []
-        for table in candidates:
-            entries, cost = table.scan_all(self.system.cpu)
-            seconds += cost
-            streams.append(entries)
-        newest = list(merge_entry_streams(streams, drop_shadowed=True))
-        # A tombstone may only be dropped when every older version of its
-        # key is inside this compaction; with other tables live in the
-        # single level, the tombstone must survive to keep shadowing them.
-        dropping_all = len(candidates) == len(self.tables)
-        if dropping_all:
-            merged = [e for e in newest if e[2] is not TOMBSTONE]
-        else:
-            merged = newest
-        if not merged:
-            return
-        sst, build_cost = build_sstable(
-            merged, self.system.nvm, self.system.cpu, f"{self.name}-compact"
-        )
-        seconds += build_cost
-        nodes_before = self.index.node_count
-        for key, seq, value, __vb in newest:
-            if value is TOMBSTONE:
-                # drop the index entry unless a newer flush superseded it
-                current, visits = self.index.get(key)
-                seconds += self._index_cost(visits)
-                if current is not None and current[1] <= seq:
-                    __, visits = self.index.delete(key)
-                    seconds += self._index_cost(visits, 1)
+        with self.system.job_scope():
+            seconds = len(self.tables) * self.system.cpu.compare_cost * 8  # selection
+            streams = []
+            for table in candidates:
+                entries, cost = table.scan_all(self.system.cpu)
+                seconds += cost
+                streams.append(entries)
+            newest = list(merge_entry_streams(streams, drop_shadowed=True))
+            # A tombstone may only be dropped when every older version of its
+            # key is inside this compaction; with other tables live in the
+            # single level, the tombstone must survive to keep shadowing them.
+            dropping_all = len(candidates) == len(self.tables)
+            if dropping_all:
+                merged = [e for e in newest if e[2] is not TOMBSTONE]
             else:
-                seconds += self._index_put(key, sst, seq)
+                merged = newest
+            if not merged:
+                return
+            sst, build_cost = build_sstable(
+                merged, self.system.nvm, self.system.cpu, f"{self.name}-compact"
+            )
+            seconds += build_cost
+            nodes_before = self.index.node_count
+            for key, seq, value, __vb in newest:
+                if value is TOMBSTONE:
+                    # drop the index entry unless a newer flush superseded it
+                    current, visits = self.index.get(key)
+                    seconds += self._index_cost(visits)
+                    if current is not None and current[1] <= seq:
+                        __, visits = self.index.delete(key)
+                        seconds += self._index_cost(visits, 1)
+                else:
+                    seconds += self._index_put(key, sst, seq)
         self._grow_index_arena(nodes_before)
         candidate_ids = {t.table_id for t in candidates}
 

@@ -6,6 +6,8 @@ Run workloads against any store in the library from a shell::
     python -m repro ycsb --store all --workloads A,C --records 4096
     python -m repro compare
     python -m repro trace --store miodb --n 2048 --out trace.json
+    python -m repro analyze --store miodb --mode ycsb-a
+    python -m repro slo --store miodb --threshold-us 10 --target 0.999
     python -m repro info
     python -m repro perf --label after-change
     python -m repro bench --jobs 8
@@ -148,14 +150,28 @@ def cmd_compare(args) -> int:
     scale = default_scale()
     n = scale.records_for(args.value_size) // 2
     rows = []
+    analyses = []
     multi = len(args.store) > 1
     for name in args.store:
         store, system = make_store(name, scale, ssd=args.ssd)
-        recorder = _start_trace(system, args)
+        recorder = (
+            system.attach_tracing()
+            if (args.trace or args.analyze)
+            else None
+        )
         w = fill_random(store, n, args.value_size, seed=args.seed)
         store.quiesce()
         r = read_random(store, min(1000, n), n)
-        _finish_trace(recorder, args, name, multi)
+        if recorder is not None and args.analyze:
+            from repro.obs.analyze import analyze_run, render_analysis
+
+            recorder.detach()
+            doc = analyze_run(recorder, system, name)
+            analyses.append(render_analysis(doc, profile=False))
+        if args.trace:
+            _finish_trace(recorder, args, name, multi)
+        elif recorder is not None:
+            recorder.detach()
         rows.append(
             [name, w.kiops, r.kiops, w.latency.p999 * 1e6,
              system.write_amplification(),
@@ -168,6 +184,9 @@ def cmd_compare(args) -> int:
     print(format_table(
         ["store", "write_KIOPS", "read_KIOPS", "write_p999_us", "WA",
          "stall_interval_s", "stall_cumulative_s"], rows))
+    for text in analyses:
+        print()
+        print(text, end="")
     return 0
 
 
@@ -176,10 +195,11 @@ def cmd_trace(args) -> int:
     from repro.obs import (
         bandwidth_csv,
         gantt,
-        metrics_json,
         queue_depth_csv,
         run_traced,
+        write_artifact,
         write_chrome_trace,
+        write_metrics,
     )
 
     multi = len(args.store) > 1
@@ -198,19 +218,105 @@ def cmd_trace(args) -> int:
         print(f"# trace: {out} ({len(recorder)} events)", file=sys.stderr)
         if args.metrics:
             path = _trace_path(args.metrics, name, multi)
-            path.write_text(metrics_json(system, recorder))
+            write_metrics(system, path, recorder)
             print(f"# metrics: {path}", file=sys.stderr)
         if args.bandwidth_csv:
             path = _trace_path(args.bandwidth_csv, name, multi)
-            path.write_text(bandwidth_csv(recorder))
+            write_artifact(path, bandwidth_csv(recorder))
             print(f"# bandwidth: {path}", file=sys.stderr)
         if args.queue_csv:
             path = _trace_path(args.queue_csv, name, multi)
-            path.write_text(queue_depth_csv(recorder))
+            write_artifact(path, queue_depth_csv(recorder))
             print(f"# queue depth: {path}", file=sys.stderr)
         if args.gantt:
             print(f"## {name}")
             print(gantt(recorder))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Traced run + latency attribution / critical-path / WA report."""
+    from repro.obs import run_traced, write_artifact
+    from repro.obs.analyze import analysis_json, analyze_run, render_analysis
+
+    multi = len(args.store) > 1
+    for name in args.store:
+        store, system, recorder = run_traced(
+            name,
+            n=args.n,
+            value_size=args.value_size,
+            mode=args.mode,
+            reads=args.reads,
+            seed=args.seed,
+            ssd=args.ssd,
+        )
+        doc = analyze_run(recorder, system, name, top=args.top)
+        if args.json:
+            path = _trace_path(args.json, name, multi)
+            write_artifact(path, analysis_json(doc))
+            print(f"# analysis: {path}", file=sys.stderr)
+        print(render_analysis(doc, profile=not args.no_profile), end="")
+        if multi and name != args.store[-1]:
+            print()
+    return 0
+
+
+def cmd_slo(args) -> int:
+    """Traced run + SLO compliance, burn-rate alert log, rolling tails."""
+    from repro.obs import run_traced, write_artifact
+    from repro.obs.analyze import (
+        BurnRateRule,
+        SloMonitor,
+        SloObjective,
+        analysis_json,
+        attribute_ops,
+        render_slo,
+        rolling_series,
+        slo_document,
+    )
+
+    multi = len(args.store) > 1
+    for name in args.store:
+        store, system, recorder = run_traced(
+            name,
+            n=args.n,
+            value_size=args.value_size,
+            mode=args.mode,
+            reads=args.reads,
+            seed=args.seed,
+            ssd=args.ssd,
+        )
+        end_s = system.clock.now
+        samples = [
+            (attr.end, attr.measured_s)
+            for attr in attribute_ops(recorder)
+            if args.kind is None or attr.kind == args.kind
+        ]
+        # Windows default to fractions of the simulated run so one flag
+        # set works at any scale; explicit --short-ms/--long-ms override.
+        long_s = args.long_ms * 1e-3 if args.long_ms else end_s / 10
+        short_s = args.short_ms * 1e-3 if args.short_ms else long_s / 5
+        objective = SloObjective(
+            args.objective, args.threshold_us * 1e-6, target=args.target
+        )
+        monitor = SloMonitor(
+            objective, [BurnRateRule(short_s, long_s, args.factor)]
+        )
+        series = rolling_series(
+            samples,
+            end_s,
+            long_s,
+            bins=args.bins,
+            min_kiops=args.min_kiops,
+        )
+        doc = slo_document(monitor.run(samples), series, name, end_s)
+        if args.json:
+            path = _trace_path(args.json, name, multi)
+            write_artifact(path, analysis_json(doc))
+            print(f"# slo: {path}", file=sys.stderr)
+        print(render_slo(doc), end="")
+        if multi and name != args.store[-1]:
+            print()
     return 0
 
 
@@ -240,7 +346,9 @@ def cmd_cluster(args) -> int:
         key_space=args.key_space,
         vnodes_per_shard=args.vnodes,
     )
-    recorders = cluster.attach_tracing() if args.trace else None
+    recorders = (
+        cluster.attach_tracing() if (args.trace or args.analyze) else None
+    )
     # Preload the key space so reads hit and rebalances have keys to move.
     for i in range(args.preload):
         router.put(key_for(i), SizedValue(("preload", i), args.value_size))
@@ -296,9 +404,25 @@ def cmd_cluster(args) -> int:
         print(f"# metrics: {path}", file=sys.stderr)
     if recorders is not None:
         cluster.detach_tracing()
-        write_cluster_trace(cluster, recorders, args.trace)
-        events = sum(len(r) for r in recorders)
-        print(f"# trace: {args.trace} ({events} events)", file=sys.stderr)
+        if args.trace:
+            write_cluster_trace(cluster, recorders, args.trace)
+            events = sum(len(r) for r in recorders)
+            print(f"# trace: {args.trace} ({events} events)", file=sys.stderr)
+        if args.analyze:
+            from repro.obs.analyze import (
+                analysis_json,
+                analyze_cluster,
+                render_cluster_analysis,
+            )
+
+            doc = analyze_cluster(cluster, recorders)
+            if args.analyze_json:
+                from repro.obs import write_artifact
+
+                path = write_artifact(args.analyze_json, analysis_json(doc))
+                print(f"# analysis: {path}", file=sys.stderr)
+            print()
+            print(render_cluster_analysis(doc), end="")
     return 0
 
 
@@ -374,6 +498,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compare", help="headline store comparison")
     _add_common(p)
+    p.add_argument("--analyze", action="store_true",
+                   help="also print per-store latency attribution reports")
     p.set_defaults(func=cmd_compare)
     p.set_defaults(store=list(STORE_NAMES))
 
@@ -405,6 +531,63 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print an ASCII gantt of background jobs")
     p.set_defaults(func=cmd_trace)
 
+    def _add_traced_workload(p):
+        p.add_argument(
+            "--store", type=_stores_arg, default=["miodb"],
+            help="store name, comma list, or 'all'",
+        )
+        p.add_argument("--n", type=int, default=2048, help="records to write")
+        p.add_argument("--value-size", type=int, default=1024)
+        p.add_argument(
+            "--mode", default="fillrandom",
+            help="fillrandom, fillseq, or ycsb-<letter> (e.g. ycsb-a)",
+        )
+        p.add_argument("--reads", type=int, default=256,
+                       help="reads (fill modes) or workload ops (ycsb)")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--ssd", action="store_true",
+                       help="use the DRAM-NVM-SSD hierarchy")
+
+    p = sub.add_parser(
+        "analyze",
+        help="latency attribution, critical paths, and WA from a traced run",
+    )
+    _add_traced_workload(p)
+    p.add_argument("--top", type=int, default=5,
+                   help="critical-path chains to keep (longest stalls)")
+    p.add_argument("--no-profile", action="store_true",
+                   help="skip the top-down time profile section")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the full analysis document (JSON)")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "slo",
+        help="SLO compliance + burn-rate alert log from a traced run",
+    )
+    _add_traced_workload(p)
+    p.add_argument("--objective", default="op-latency",
+                   help="objective name used in the alert log")
+    p.add_argument("--threshold-us", type=float, default=10.0,
+                   help="per-op latency threshold in microseconds")
+    p.add_argument("--target", type=float, default=0.999,
+                   help="required fraction of ops under the threshold")
+    p.add_argument("--short-ms", type=float, default=0.0,
+                   help="short burn window (0 = long/5)")
+    p.add_argument("--long-ms", type=float, default=0.0,
+                   help="long burn window (0 = run duration/10)")
+    p.add_argument("--factor", type=float, default=2.0,
+                   help="burn-rate factor both windows must exceed")
+    p.add_argument("--bins", type=int, default=20,
+                   help="grid points in the rolling series")
+    p.add_argument("--kind", default=None,
+                   help="restrict samples to one op kind (put/get/...)")
+    p.add_argument("--min-kiops", type=float, default=None,
+                   help="flag rolling-window throughput under this floor")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the full SLO document (JSON)")
+    p.set_defaults(func=cmd_slo)
+
     p = sub.add_parser(
         "cluster", help="sharded serving layer: routed load + backpressure"
     )
@@ -435,6 +618,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hot-factor", type=float, default=1.5)
     p.add_argument("--metrics", default=None, metavar="FILE",
                    help="write the deterministic cluster metrics JSON")
+    p.add_argument("--analyze", action="store_true",
+                   help="print the router-merged latency attribution report")
+    p.add_argument("--analyze-json", default=None, metavar="FILE",
+                   help="also write the cluster analysis document (JSON)")
     p.set_defaults(func=cmd_cluster, value_size=256)
 
     p = sub.add_parser("info", help="stores, device profiles, scaling")

@@ -28,6 +28,7 @@ import math
 from typing import Dict, List, Optional
 
 from repro.kvstore.values import SizedValue
+from repro.obs.events import CAT_QUEUE
 from repro.sim.latency import LatencyRecorder, LatencySummary
 from repro.sim.rng import XorShiftRng
 from repro.workloads.keys import key_for
@@ -283,6 +284,14 @@ def run_cluster(
         drops[cause] = drops.get(cause, 0) + 1
         shard_drops[shard][cause] = shard_drops[shard].get(cause, 0) + 1
         stats.add(f"cluster.drop.{cause}", 1)
+        obs = cluster.shards[shard].system.obs
+        if obs is not None:
+            obs.instant(
+                "router",
+                "drop",
+                CAT_QUEUE,
+                {"cause": cause, "client": request.client},
+            )
         state = states[request.client]
         state.dropped += 1
         if state.spec.closed_loop and state.issued < state.spec.n_ops:
@@ -340,6 +349,20 @@ def run_cluster(
         request = queues[serve_shard].popleft()
         shard = cluster.shards[serve_shard]
         state = states[request.client]
+        obs = shard.system.obs
+        if obs is not None:
+            # Admission-queue wait: arrival (or first defer) to service
+            # start.  One span per served request, so per-shard latency
+            # attribution can put the queueing component next to the op's
+            # own span (emitted right after, by the store).
+            obs.span(
+                "router",
+                request.kind,
+                CAT_QUEUE,
+                request.arrival,
+                clock.now,
+                {"client": request.client, "shard": serve_shard},
+            )
         if request.kind == "get":
             shard.store.get(request.key)
         else:

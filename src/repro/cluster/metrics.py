@@ -146,7 +146,11 @@ def cluster_trace_json(cluster, recorders: List[object]) -> str:
     return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
 
 
-def write_cluster_trace(cluster, recorders: List[object], path) -> None:
+def write_cluster_trace(
+    cluster, recorders: List[object], path, overwrite: bool = True
+) -> None:
     """Serialize the merged shard trace to ``path`` (byte-reproducible)."""
-    with open(path, "w") as fh:
-        fh.write(cluster_trace_json(cluster, recorders))
+    from repro.obs.export import write_artifact
+
+    write_artifact(path, cluster_trace_json(cluster, recorders),
+                   overwrite=overwrite)

@@ -68,10 +68,11 @@ class CompactionManager:
         older.busy = True
         newer.busy = True
         older.merge_bloom_from(newer)
-        if self.options.zero_copy:
-            seconds = self._run_pointer_merge(newer, older)
-        else:
-            seconds = self._run_copy_merge(newer, older)
+        with self.system.job_scope():
+            if self.options.zero_copy:
+                seconds = self._run_pointer_merge(newer, older)
+            else:
+                seconds = self._run_copy_merge(newer, older)
 
         def apply() -> None:
             older.busy = False
@@ -127,7 +128,8 @@ class CompactionManager:
 
     def _schedule_lazy_copy(self, level: int, table: PMTable) -> None:
         table.busy = True
-        seconds, repo_apply = self.store.repository.ingest(table)
+        with self.system.job_scope():
+            seconds, repo_apply = self.store.repository.ingest(table)
 
         def apply() -> None:
             if repo_apply is not None:

@@ -130,38 +130,45 @@ class MioDB(KVStore):
         entries = 0
         pointers = 0
         last_seq = None
-        if self.options.one_piece_flush:
-            for node in table.skiplist.nodes():
-                entries += 1
-                pointers += node.height
-                if last_seq is None or node.seq > last_seq:
-                    last_seq = node.seq
-                if bloom is not None:
-                    bloom.add(node.key)
-            copy_seconds = self.system.dram.read(table.capacity_bytes, sequential=True)
-            copy_seconds += self.system.nvm.write(
-                table.capacity_bytes, sequential=True
-            )
-            swizzle_seconds = 0.0
-            if pointers:
-                swizzle_seconds += self.system.nvm.write(
-                    8 * pointers, sequential=False
+        with self.system.job_scope():
+            if self.options.one_piece_flush:
+                for node in table.skiplist.nodes():
+                    entries += 1
+                    pointers += node.height
+                    if last_seq is None or node.seq > last_seq:
+                        last_seq = node.seq
+                    if bloom is not None:
+                        bloom.add(node.key)
+                copy_seconds = self.system.dram.read(
+                    table.capacity_bytes, sequential=True
                 )
-                swizzle_seconds += (pointers - 1) * self.system.nvm.profile.write_latency
-            swizzle_seconds += self.system.cpu.bloom_build_time(entries)
-        else:
-            # Ablation: NoveLSM-style per-KV copy+insert into NVM.
-            copy_seconds = 0.0
-            for node in table.skiplist.nodes():
-                entries += 1
-                if last_seq is None or node.seq > last_seq:
-                    last_seq = node.seq
-                if bloom is not None:
-                    bloom.add(node.key)
-                hops = max(1, node.height * 3)
-                copy_seconds += self.system.cpu.skiplist_search_time("nvm", hops)
-                copy_seconds += self.system.nvm.write(node.nbytes, sequential=False)
-            swizzle_seconds = self.system.cpu.bloom_build_time(entries)
+                copy_seconds += self.system.nvm.write(
+                    table.capacity_bytes, sequential=True
+                )
+                swizzle_seconds = 0.0
+                if pointers:
+                    swizzle_seconds += self.system.nvm.write(
+                        8 * pointers, sequential=False
+                    )
+                    swizzle_seconds += (
+                        pointers - 1
+                    ) * self.system.nvm.profile.write_latency
+                swizzle_seconds += self.system.cpu.bloom_build_time(entries)
+            else:
+                # Ablation: NoveLSM-style per-KV copy+insert into NVM.
+                copy_seconds = 0.0
+                for node in table.skiplist.nodes():
+                    entries += 1
+                    if last_seq is None or node.seq > last_seq:
+                        last_seq = node.seq
+                    if bloom is not None:
+                        bloom.add(node.key)
+                    hops = max(1, node.height * 3)
+                    copy_seconds += self.system.cpu.skiplist_search_time("nvm", hops)
+                    copy_seconds += self.system.nvm.write(
+                        node.nbytes, sequential=False
+                    )
+                swizzle_seconds = self.system.cpu.bloom_build_time(entries)
 
         if last_seq is None:
             last_seq = self.seq

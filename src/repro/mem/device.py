@@ -88,9 +88,10 @@ class Device:
             raise ValueError(f"negative read size: {nbytes}")
         self.bytes_read += nbytes
         self.read_ops += 1
+        seconds = self.profile.read_time(nbytes, sequential)
         if self.obs is not None:
-            self.obs.transfer(self.profile.name, "read", nbytes, sequential)
-        return self.profile.read_time(nbytes, sequential)
+            self.obs.transfer(self.profile.name, "read", nbytes, sequential, seconds)
+        return seconds
 
     def write(self, nbytes: int, sequential: bool = True) -> float:
         """Account a write and return its simulated duration in seconds."""
@@ -98,9 +99,10 @@ class Device:
             raise ValueError(f"negative write size: {nbytes}")
         self.bytes_written += nbytes
         self.write_ops += 1
+        seconds = self.profile.write_time(nbytes, sequential)
         if self.obs is not None:
-            self.obs.transfer(self.profile.name, "write", nbytes, sequential)
-        return self.profile.write_time(nbytes, sequential)
+            self.obs.transfer(self.profile.name, "write", nbytes, sequential, seconds)
+        return seconds
 
     def pointer_write(self) -> float:
         """An 8-byte random (in-place) write -- one pointer update.

@@ -11,6 +11,21 @@ from repro.sim.latency import LatencyRecorder
 from repro.sim.stats import StatsRegistry
 
 
+class _NullJobScope:
+    """No-op stand-in for the recorder's job-cost scope when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_JOB_SCOPE = _NullJobScope()
+
+
 class HybridMemorySystem:
     """A DRAM/NVM(/SSD) machine that KV stores are instantiated on.
 
@@ -84,6 +99,19 @@ class HybridMemorySystem:
         """Detach the current recorder, if any (idempotent)."""
         if self.obs is not None:
             self.obs.detach()
+
+    def job_scope(self):
+        """Context manager marking device traffic as background-job cost.
+
+        Stores wrap the inline cost computation of each flush/compaction
+        they schedule, so the transfer events it emits are tagged as job
+        cost rather than foreground device time (latency attribution
+        depends on the distinction).  With tracing detached this is a
+        shared no-op scope.
+        """
+        if self.obs is None:
+            return _NULL_JOB_SCOPE
+        return self.obs.job_cost()
 
     def persistent_bytes_written(self) -> int:
         """Total bytes written to persistent media so far."""

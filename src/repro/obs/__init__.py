@@ -24,11 +24,21 @@ Quickstart::
     write_chrome_trace(recorder, "trace.json")
 """
 
+from repro.obs.analyze import (
+    BurnRateRule,
+    SloMonitor,
+    SloObjective,
+    analyze_cluster,
+    analyze_run,
+    attribute_ops,
+    critical_paths,
+)
 from repro.obs.events import (
     CAT_COMPACT,
     CAT_FLUSH,
     CAT_JOB,
     CAT_OP,
+    CAT_QUEUE,
     CAT_STALL,
     CAT_TRANSFER,
     CATEGORIES,
@@ -49,7 +59,9 @@ from repro.obs.export import (
     metrics_snapshot,
     queue_depth_csv,
     to_chrome_trace,
+    write_artifact,
     write_chrome_trace,
+    write_metrics,
 )
 from repro.obs.recorder import TraceRecorder
 from repro.obs.runner import run_traced
@@ -64,6 +76,7 @@ __all__ = [
     "CAT_COMPACT",
     "CAT_JOB",
     "CAT_TRANSFER",
+    "CAT_QUEUE",
     "STALL_CAUSES",
     "STALL_MEMTABLE_FULL",
     "STALL_L0_SLOWDOWN",
@@ -74,10 +87,19 @@ __all__ = [
     "write_chrome_trace",
     "metrics_snapshot",
     "metrics_json",
+    "write_metrics",
+    "write_artifact",
     "latency_histogram",
     "bandwidth_csv",
     "queue_depth_csv",
     "ascii_gantt",
     "gantt",
     "run_traced",
+    "attribute_ops",
+    "critical_paths",
+    "analyze_run",
+    "analyze_cluster",
+    "SloObjective",
+    "BurnRateRule",
+    "SloMonitor",
 ]

@@ -1,0 +1,79 @@
+"""Deterministic trace analysis: attribution, critical paths, SLOs.
+
+Everything in this package consumes a :class:`~repro.obs.recorder.TraceRecorder`
+after a run and computes pure functions of its event list, so every
+report is byte-identical across same-seed runs.  The pieces:
+
+- :mod:`~repro.obs.analyze.attribution` -- per-op latency decomposition
+  (queue wait, stalls by cause, device time by device, residual other)
+  with an exact conservation invariant;
+- :mod:`~repro.obs.analyze.critical_path` -- the flush/compaction job
+  chain behind each foreground stall;
+- :mod:`~repro.obs.analyze.profile` -- top-down time profile per store,
+  worker, and level, rendered as JSON or ASCII;
+- :mod:`~repro.obs.analyze.timeline` -- per-level bytes-moved and
+  write-amplification accounting cross-checkable against fig 11;
+- :mod:`~repro.obs.analyze.slo` -- rolling-window SLO monitors with
+  multi-window burn-rate alerting on the simulated clock;
+- :mod:`~repro.obs.analyze.report` -- the assembled ``repro analyze``
+  and ``repro slo`` documents and their text renderings.
+"""
+
+from repro.obs.analyze.attribution import OpAttribution, attribute_ops, summarize
+from repro.obs.analyze.critical_path import (
+    MAX_CHAIN_DEPTH,
+    StallChain,
+    critical_paths,
+    stall_blame,
+)
+from repro.obs.analyze.profile import render_profile, time_profile
+from repro.obs.analyze.report import (
+    analysis_json,
+    analyze_cluster,
+    analyze_run,
+    conservation_check,
+    render_analysis,
+    render_cluster_analysis,
+    render_slo,
+    slo_document,
+)
+from repro.obs.analyze.slo import (
+    BurnRateRule,
+    SloMonitor,
+    SloObjective,
+    rolling_series,
+)
+from repro.obs.analyze.timeline import (
+    bytes_moved_timeline,
+    per_level_bytes,
+    persistent_write_bytes,
+    write_amplification,
+)
+
+__all__ = [
+    "OpAttribution",
+    "attribute_ops",
+    "summarize",
+    "StallChain",
+    "critical_paths",
+    "stall_blame",
+    "MAX_CHAIN_DEPTH",
+    "time_profile",
+    "render_profile",
+    "persistent_write_bytes",
+    "write_amplification",
+    "per_level_bytes",
+    "bytes_moved_timeline",
+    "SloObjective",
+    "BurnRateRule",
+    "SloMonitor",
+    "rolling_series",
+    "analyze_run",
+    "analyze_cluster",
+    "conservation_check",
+    "analysis_json",
+    "render_analysis",
+    "render_cluster_analysis",
+    "slo_document",
+    "render_slo",
+]

@@ -1,0 +1,135 @@
+"""Critical-path extraction for foreground stalls.
+
+An interval stall (``memtable-full``, ``l0-stop``, ``buffer-cap``) ends
+exactly when some background job completes -- the store blocked on it by
+advancing the clock to the job's end.  Walking backward from that
+*releasing* job names the chain of flush/compaction work the foreground
+was really waiting on:
+
+- a job whose worker-queue wait is positive (``wait_s > 0``) ran behind
+  its worker's previous job -- the same-worker span ending at its start;
+- a job submitted at the instant another job completed was scheduled by
+  that job's completion callback (compaction cascades) -- a cross-worker
+  dependency edge.
+
+Both edge kinds are recovered from the trace alone: worker spans carry
+``wait_s`` (start minus submission time), so the submission instant is
+``start - wait_s``, and the simulation's determinism makes the time
+matches exact, not heuristic.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.obs.events import CAT_STALL
+
+#: Don't walk job chains deeper than this (cascades are short in practice).
+MAX_CHAIN_DEPTH = 8
+
+
+class StallChain:
+    """One foreground stall and the background job chain behind it."""
+
+    __slots__ = ("cause", "start", "duration_s", "chain")
+
+    def __init__(self, cause: str, start: float, duration_s: float, chain: List[dict]):
+        self.cause = cause
+        self.start = start
+        self.duration_s = duration_s
+        #: Releasing job first, then its predecessors (dependency order).
+        self.chain = chain
+
+    def as_dict(self) -> dict:
+        return {
+            "cause": self.cause,
+            "start_s": self.start,
+            "duration_s": self.duration_s,
+            "chain": self.chain,
+        }
+
+    def __repr__(self) -> str:
+        names = " <- ".join(link["job"] for link in self.chain) or "(none)"
+        return (
+            f"StallChain({self.cause!r}, {self.duration_s * 1e6:.1f}us, {names})"
+        )
+
+
+def _job_record(span) -> dict:
+    args = span.args or {}
+    record = {
+        "job": span.name,
+        "worker": span.track.split(":", 1)[1],
+        "start_s": span.ts,
+        "duration_s": span.dur,
+        "wait_s": args.get("wait_s", 0.0),
+    }
+    if "level" in args:
+        record["level"] = args["level"]
+    return record
+
+
+def critical_paths(recorder, max_depth: int = MAX_CHAIN_DEPTH) -> List[StallChain]:
+    """A :class:`StallChain` for every interval stall in the trace."""
+    jobs = list(recorder.worker_spans())
+    by_end: Dict[float, List] = {}
+    for span in jobs:
+        by_end.setdefault(span.end, []).append(span)
+
+    def releasing_job(at: float):
+        candidates = by_end.get(at)
+        if not candidates:
+            return None
+        # Several jobs can end at the same instant; the last-emitted one
+        # is the one the settle loop applied last, but any of them kept
+        # the foreground blocked -- pick the longest as the bottleneck.
+        return max(candidates, key=lambda s: (s.dur, s.ts))
+
+    def predecessor(span):
+        submitted = span.ts - (span.args or {}).get("wait_s", 0.0)
+        trigger = by_end.get(submitted)
+        if trigger:
+            # Submitted the instant another job completed: scheduled by
+            # that job's completion callback.
+            others = [s for s in trigger if s is not span]
+            if others:
+                return max(others, key=lambda s: (s.dur, s.ts))
+        if (span.args or {}).get("wait_s", 0.0) > 0.0:
+            for other in jobs:
+                if other.track == span.track and other.end == span.ts:
+                    return other
+        return None
+
+    chains: List[StallChain] = []
+    for event in recorder.events:
+        if event.cat != CAT_STALL or event.dur is None:
+            continue
+        cause = (event.args or {}).get("cause", "unknown")
+        chain: List[dict] = []
+        seen = set()
+        job = releasing_job(event.end)
+        depth = 0
+        while job is not None and depth < max_depth:
+            if id(job) in seen:
+                break
+            seen.add(id(job))
+            chain.append(_job_record(job))
+            job = predecessor(job)
+            depth += 1
+        chains.append(StallChain(cause, event.ts, event.dur, chain))
+    return chains
+
+
+def stall_blame(chains: List[StallChain]) -> dict:
+    """Stalled seconds per cause, blamed on the releasing job's name.
+
+    The job whose completion unblocked the foreground carries the
+    stall's full duration; the rest of the chain is context.  Keys are
+    sorted for deterministic serialization.
+    """
+    blame: Dict[str, Dict[str, float]] = {}
+    for chain in chains:
+        job = chain.chain[0]["job"] if chain.chain else "(no pending job)"
+        per_cause = blame.setdefault(chain.cause, {})
+        per_cause[job] = per_cause.get(job, 0.0) + chain.duration_s
+    return {
+        cause: dict(sorted(blame[cause].items())) for cause in sorted(blame)
+    }

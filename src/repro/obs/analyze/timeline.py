@@ -1,0 +1,100 @@
+"""Per-level bytes-moved and write-amplification accounting from traces.
+
+Every device read/write is a ``transfer`` instant with a byte count, and
+every flush/compaction job span carries the bytes it moved plus (for
+compactions) its level.  This module aggregates them into:
+
+- :func:`persistent_write_bytes` -- total bytes written to persistent
+  media according to the trace; when tracing covered the whole run this
+  equals ``system.persistent_bytes_written()`` *exactly*, which is the
+  numerator of the fig-11 write-amplification metric
+  (``benchmarks/test_fig11_write_amp.py`` cross-checks it);
+- :func:`write_amplification` -- the fig-11 ratio computed from the
+  trace's persistent traffic and the caller-supplied logical user bytes;
+- :func:`per_level_bytes` -- bytes/jobs/seconds moved per level label
+  (``flush`` for memtable flushes, ``L<n>`` for compactions);
+- :func:`bytes_moved_timeline` -- cumulative per-device written bytes
+  sampled on a fixed simulated-time grid (deterministic rows suitable
+  for CSV export or plotting).
+"""
+
+from typing import Dict, List
+
+from repro.obs.events import CAT_TRANSFER
+
+#: Device tracks whose writes do NOT count as persistent traffic.
+_VOLATILE_DEVICES = frozenset({"dram"})
+
+
+def _transfer_writes(recorder):
+    for event in recorder.events:
+        if event.cat != CAT_TRANSFER or event.name != "write":
+            continue
+        yield event
+
+
+def persistent_write_bytes(recorder) -> int:
+    """Bytes written to persistent devices, summed from transfer events."""
+    total = 0
+    for event in _transfer_writes(recorder):
+        device = event.track.split(":", 1)[1]
+        if device in _VOLATILE_DEVICES:
+            continue
+        total += (event.args or {}).get("bytes", 0)
+    return total
+
+
+def write_amplification(recorder, user_bytes: int) -> float:
+    """The fig-11 ratio: persistent traffic over logical user writes."""
+    if user_bytes <= 0:
+        return 0.0
+    return persistent_write_bytes(recorder) / user_bytes
+
+
+def per_level_bytes(recorder) -> Dict[str, dict]:
+    """Bytes moved per level label, from flush/compaction job spans."""
+    levels: Dict[str, dict] = {}
+    for span in recorder.worker_spans():
+        if span.cat not in ("flush", "compact"):
+            continue
+        args = span.args or {}
+        label = f"L{args['level']}" if "level" in args else "flush"
+        node = levels.setdefault(label, {"jobs": 0, "bytes": 0, "seconds": 0.0})
+        node["jobs"] += 1
+        node["bytes"] += args.get("bytes", 0)
+        node["seconds"] += span.dur
+    return {label: levels[label] for label in sorted(levels)}
+
+
+def bytes_moved_timeline(recorder, end_s: float, bins: int = 20) -> List[dict]:
+    """Cumulative written bytes per device on a fixed time grid.
+
+    Returns one row per grid point: ``{"t_s", "<device>": bytes, ...}``.
+    The grid spans ``[0, end_s]`` with ``bins`` equal steps, so repeated
+    runs of the same seed produce identical rows.
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    if end_s < 0:
+        raise ValueError(f"end_s must be >= 0, got {end_s}")
+    events = sorted(
+        (
+            (event.ts, event.track.split(":", 1)[1], (event.args or {}).get("bytes", 0))
+            for event in _transfer_writes(recorder)
+        ),
+        key=lambda item: item[0],
+    )
+    devices = sorted({device for __, device, __b in events})
+    cumulative = {device: 0 for device in devices}
+    rows: List[dict] = []
+    cursor = 0
+    for i in range(bins + 1):
+        edge = end_s * i / bins
+        while cursor < len(events) and events[cursor][0] <= edge:
+            __, device, nbytes = events[cursor]
+            cumulative[device] += nbytes
+            cursor += 1
+        row = {"t_s": edge}
+        row.update({device: cumulative[device] for device in devices})
+        rows.append(row)
+    return rows

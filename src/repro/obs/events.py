@@ -27,10 +27,24 @@ CAT_FLUSH = "flush"
 CAT_COMPACT = "compact"
 #: Any other background job.
 CAT_JOB = "job"
-#: One device read or write; ``args["bytes"]`` is the transfer size.
+#: One device read or write; ``args["bytes"]`` is the transfer size and
+#: ``args["seconds"]`` the simulated duration charged for it.  Transfers
+#: emitted while computing a *background job's* cost additionally carry
+#: ``args["job"] = True`` so analysis can keep them out of foreground
+#: latency attribution.
 CAT_TRANSFER = "transfer"
+#: Admission-queue wait ahead of a served cluster request (router track).
+CAT_QUEUE = "queue"
 
-CATEGORIES = (CAT_OP, CAT_STALL, CAT_FLUSH, CAT_COMPACT, CAT_JOB, CAT_TRANSFER)
+CATEGORIES = (
+    CAT_OP,
+    CAT_STALL,
+    CAT_FLUSH,
+    CAT_COMPACT,
+    CAT_JOB,
+    CAT_TRANSFER,
+    CAT_QUEUE,
+)
 
 # ------------------------------------------------------------ stall causes
 #

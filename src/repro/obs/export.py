@@ -9,12 +9,31 @@ contract that lets tests pin trace fingerprints.
 """
 
 import json
+import pathlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.events import CAT_TRANSFER
 
 #: Microseconds per simulated second (the trace-event format's unit).
 _US = 1e6
+
+
+def write_artifact(path, text: str, overwrite: bool = True) -> pathlib.Path:
+    """Write a deterministic text artifact to ``path``.
+
+    The one place every exporter's file handling goes through: the
+    parent directory is created if missing, and ``overwrite=False``
+    refuses to clobber an existing file (useful when pinning golden
+    artifacts).  Returns the path written.
+    """
+    target = pathlib.Path(path)
+    if not overwrite and target.exists():
+        raise FileExistsError(f"refusing to overwrite {target}")
+    if target.parent != pathlib.Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)
+    return target
+
 
 # ------------------------------------------------------- chrome/perfetto
 
@@ -79,10 +98,12 @@ def chrome_trace_json(recorder, process_name: str = "repro") -> str:
     return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
 
 
-def write_chrome_trace(recorder, path, process_name: str = "repro") -> None:
+def write_chrome_trace(
+    recorder, path, process_name: str = "repro", overwrite: bool = True
+) -> None:
     """Serialize the trace to ``path`` (byte-reproducible)."""
-    with open(path, "w") as fh:
-        fh.write(chrome_trace_json(recorder, process_name))
+    write_artifact(path, chrome_trace_json(recorder, process_name),
+                   overwrite=overwrite)
 
 
 # -------------------------------------------------------------- metrics
@@ -155,6 +176,11 @@ def metrics_json(system, recorder=None) -> str:
     """The metrics snapshot serialized deterministically."""
     return json.dumps(metrics_snapshot(system, recorder), sort_keys=True,
                       indent=2) + "\n"
+
+
+def write_metrics(system, path, recorder=None, overwrite: bool = True) -> None:
+    """Serialize the metrics snapshot to ``path`` (byte-reproducible)."""
+    write_artifact(path, metrics_json(system, recorder), overwrite=overwrite)
 
 
 # ------------------------------------------------------------ csv series

@@ -23,10 +23,28 @@ from repro.obs.events import (
     CAT_FLUSH,
     CAT_JOB,
     CAT_OP,
+    CAT_QUEUE,
     CAT_STALL,
     CAT_TRANSFER,
     TraceEvent,
 )
+
+
+class _JobCostScope:
+    """Marks transfers emitted inside it as background-job cost."""
+
+    __slots__ = ("_recorder",)
+
+    def __init__(self, recorder: "TraceRecorder") -> None:
+        self._recorder = recorder
+
+    def __enter__(self) -> "TraceRecorder":
+        self._recorder._job_depth += 1
+        return self._recorder
+
+    def __exit__(self, *exc) -> bool:
+        self._recorder._job_depth -= 1
+        return False
 
 
 class TraceRecorder:
@@ -36,6 +54,12 @@ class TraceRecorder:
         self.clock = clock
         self.events: List[TraceEvent] = []
         self._system = None
+        # Nesting depth of job-cost scopes (see :meth:`job_cost`).  Device
+        # cost for a background job is computed inline -- during the
+        # foreground op or callback that schedules the job -- so without
+        # the scope those transfer instants would be indistinguishable
+        # from the op's own device traffic.
+        self._job_depth = 0
 
     # ------------------------------------------------------ attach/detach
 
@@ -93,13 +117,26 @@ class TraceRecorder:
         when = self.clock.now if ts is None else ts
         self.events.append(TraceEvent(track, name, cat, when, None, args))
 
-    def transfer(self, device_name: str, op: str, nbytes: int, sequential: bool) -> None:
+    def transfer(
+        self,
+        device_name: str,
+        op: str,
+        nbytes: int,
+        sequential: bool,
+        seconds: float,
+    ) -> None:
         """One device read/write, stamped at the moment it is charged.
 
         Device costs are *returned* to callers and applied to the clock
         later, so the timestamp is the emission time -- deterministic,
-        and within the enclosing operation's span.
+        and within the enclosing operation's span.  ``seconds`` is the
+        simulated duration the transfer will charge; inside a
+        :meth:`job_cost` scope the event is tagged ``{"job": True}`` so
+        latency attribution can exclude it from foreground device time.
         """
+        args = {"bytes": nbytes, "seq": sequential, "seconds": seconds}
+        if self._job_depth:
+            args["job"] = True
         self.events.append(
             TraceEvent(
                 f"dev:{device_name}",
@@ -107,17 +144,32 @@ class TraceRecorder:
                 CAT_TRANSFER,
                 self.clock.now,
                 None,
-                {"bytes": nbytes, "seq": sequential},
+                args,
             )
         )
 
+    def job_cost(self) -> _JobCostScope:
+        """Scope under which transfers count as background-job cost.
+
+        Stores wrap the inline cost computation of every flush/compaction
+        they schedule (``with system.job_scope(): ...``), which routes
+        here when tracing is attached.
+        """
+        return _JobCostScope(self)
+
     def _on_submit(self, job, meta) -> None:
-        """Executor hook: every background job becomes a worker-track span."""
+        """Executor hook: every background job becomes a worker-track span.
+
+        The span's ``wait_s`` argument is how long the job sat queued
+        behind its worker (start minus submission time) -- the executor
+        queue-wait component of critical-path analysis.
+        """
         if meta is None:
-            cat, args = CAT_JOB, None
+            cat, args = CAT_JOB, {}
         else:
             cat = meta.get("cat", CAT_JOB)
-            args = {k: v for k, v in meta.items() if k != "cat"} or None
+            args = {k: v for k, v in meta.items() if k != "cat"}
+        args["wait_s"] = job.start - job.submitted_at
         self.events.append(
             TraceEvent(
                 f"worker:{job.worker.name}",
@@ -203,4 +255,5 @@ __all__ = [
     "CAT_COMPACT",
     "CAT_JOB",
     "CAT_TRANSFER",
+    "CAT_QUEUE",
 ]

@@ -21,7 +21,12 @@ def run_traced(
     ssd: bool = False,
     scale=None,
 ) -> Tuple[object, object, object]:
-    """Run a traced fill+read workload; returns ``(store, system, recorder)``.
+    """Run a traced workload; returns ``(store, system, recorder)``.
+
+    ``mode`` is ``fillrandom``/``fillseq`` (a fill of ``n`` records plus
+    ``reads`` random/sequential reads), or ``ycsb-<X>`` for any YCSB
+    workload letter (a load phase of ``n`` records followed by ``reads``
+    operations of workload X).
 
     The recorder is detached before returning, so the caller can export
     its events without further mutation.  ``scale`` is a
@@ -38,10 +43,27 @@ def run_traced(
     # obs-import time would be circular.
     from repro.bench.config import KB, MB, BenchScale
     from repro.bench.factory import make_store
-    from repro.workloads import fill_random, fill_seq, read_random
+    from repro.workloads import (
+        YCSB_WORKLOADS,
+        fill_random,
+        fill_seq,
+        load_phase,
+        read_random,
+        run_workload,
+    )
 
-    if mode not in ("fillrandom", "fillseq"):
-        raise ValueError(f"unknown trace mode {mode!r} (use fillrandom|fillseq)")
+    ycsb_name = None
+    if mode.startswith("ycsb-"):
+        ycsb_name = mode[len("ycsb-"):].upper()
+        if ycsb_name not in YCSB_WORKLOADS:
+            raise ValueError(
+                f"unknown YCSB workload {ycsb_name!r} "
+                f"(choose from {sorted(YCSB_WORKLOADS)})"
+            )
+    elif mode not in ("fillrandom", "fillseq"):
+        raise ValueError(
+            f"unknown trace mode {mode!r} (use fillrandom|fillseq|ycsb-<X>)"
+        )
     overrides = {}
     if scale is None:
         scale = BenchScale(
@@ -55,11 +77,18 @@ def run_traced(
     store, system = make_store(store_name, scale, ssd=ssd, **overrides)
     recorder = system.attach_tracing()
     try:
-        if mode == "fillseq":
+        if ycsb_name is not None:
+            load_phase(store, n, value_size, seed=seed)
+            if reads > 0:
+                run_workload(
+                    store, YCSB_WORKLOADS[ycsb_name], reads, n, value_size,
+                    seed=seed + 7,
+                )
+        elif mode == "fillseq":
             fill_seq(store, n, value_size)
         else:
             fill_random(store, n, value_size, seed=seed)
-        if reads > 0:
+        if ycsb_name is None and reads > 0:
             read_random(store, min(reads, n), n, seed=seed + 1)
         store.quiesce()
     finally:

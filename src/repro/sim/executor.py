@@ -19,7 +19,16 @@ from typing import Callable, List, Optional
 class Job:
     """A unit of background work with a fixed simulated duration."""
 
-    __slots__ = ("name", "worker", "start", "end", "_callback", "done", "cancelled")
+    __slots__ = (
+        "name",
+        "worker",
+        "start",
+        "end",
+        "submitted_at",
+        "_callback",
+        "done",
+        "cancelled",
+    )
 
     def __init__(
         self,
@@ -28,11 +37,15 @@ class Job:
         start: float,
         end: float,
         callback: Optional[Callable[[], None]],
+        submitted_at: Optional[float] = None,
     ) -> None:
         self.name = name
         self.worker = worker
         self.start = start
         self.end = end
+        #: Simulated time the job was submitted; ``start - submitted_at``
+        #: is how long it queued behind its worker (tracing reports it).
+        self.submitted_at = start if submitted_at is None else submitted_at
         self._callback = callback
         self.done = False
         self.cancelled = False
@@ -129,7 +142,7 @@ class Executor:
         worker.busy_until = end
         worker.total_busy += duration
         worker.jobs_run += 1
-        job = Job(name, worker, start, end, callback)
+        job = Job(name, worker, start, end, callback, submitted_at=self.clock.now)
         heapq.heappush(self._heap, (end, next(self._tiebreak), job))
         if self._submit_listeners:
             for listener in list(self._submit_listeners):

@@ -1,0 +1,128 @@
+"""Tests for SLO objectives, burn-rate alerting, and rolling series."""
+
+import pytest
+
+from repro.obs import run_traced
+from repro.obs.analyze import (
+    BurnRateRule,
+    SloMonitor,
+    SloObjective,
+    attribute_ops,
+    rolling_series,
+)
+
+pytestmark = pytest.mark.obs_smoke
+
+
+def test_objective_and_rule_validation():
+    with pytest.raises(ValueError):
+        SloObjective("x", threshold_s=0.0)
+    with pytest.raises(ValueError):
+        SloObjective("x", threshold_s=1e-6, target=1.0)
+    with pytest.raises(ValueError):
+        SloObjective("x", threshold_s=1e-6, target=0.0)
+    with pytest.raises(ValueError):
+        BurnRateRule(short_s=2.0, long_s=1.0, factor=1.0)
+    with pytest.raises(ValueError):
+        BurnRateRule(short_s=0.0, long_s=1.0, factor=1.0)
+    with pytest.raises(ValueError):
+        BurnRateRule(short_s=1.0, long_s=1.0, factor=0.0)
+    with pytest.raises(ValueError):
+        SloMonitor(SloObjective("x", 1e-6), [])
+    assert SloObjective("x", 1e-6, target=0.99).error_budget == pytest.approx(0.01)
+
+
+def test_monitor_fires_and_resolves_on_a_synthetic_burst():
+    # 100 good samples, a burst of 10 bad, then 100 good again; the
+    # 10-sample short window must fire during the burst and resolve.
+    objective = SloObjective("lat", threshold_s=1e-3, target=0.9)
+    rule = BurnRateRule(short_s=0.010, long_s=0.050, factor=1.0)
+    samples = []
+    t = 0.0
+    for i in range(210):
+        t += 0.001
+        bad = 100 <= i < 110
+        samples.append((t, 2e-3 if bad else 1e-4))
+    report = SloMonitor(objective, [rule]).run(samples)
+    states = [a["state"] for a in report["alerts"]]
+    assert states == ["fire", "resolve"]
+    fire, resolve = report["alerts"]
+    assert fire["t_s"] < resolve["t_s"]
+    assert fire["burn_short"] >= 1.0 and fire["burn_long"] >= 1.0
+    assert report["bad"] == 10
+    assert report["compliance"] == pytest.approx(200 / 210)
+    assert report["firing_at_end"] == []
+
+
+def test_short_spike_does_not_fire_the_long_window():
+    # One bad sample in a sea of good ones: the short window burns hot
+    # but the long window stays under the factor, so nothing fires.
+    objective = SloObjective("lat", threshold_s=1e-3, target=0.9)
+    rule = BurnRateRule(short_s=0.002, long_s=0.200, factor=1.0)
+    samples = [(0.001 * (i + 1), 1e-4) for i in range(200)]
+    samples[50] = (samples[50][0], 5e-3)
+    report = SloMonitor(objective, [rule]).run(samples)
+    assert report["alerts"] == []
+    assert report["bad"] == 1
+
+
+def test_empty_sample_stream():
+    objective = SloObjective("lat", threshold_s=1e-3)
+    report = SloMonitor(objective, [BurnRateRule(1.0, 1.0, 1.0)]).run([])
+    assert report["samples"] == 0
+    assert report["compliance"] is None
+    assert report["alerts"] == []
+
+
+def test_alert_log_is_deterministic_on_a_traced_run():
+    reports = []
+    for __ in range(2):
+        __s, system, recorder = run_traced(
+            "miodb", n=512, value_size=1024, reads=64
+        )
+        samples = [(a.end, a.measured_s) for a in attribute_ops(recorder)]
+        objective = SloObjective("op-latency", threshold_s=5e-6)
+        end_s = system.clock.now
+        monitor = SloMonitor(
+            objective, [BurnRateRule(end_s / 50, end_s / 10, 2.0)]
+        )
+        reports.append((monitor.run(samples), rolling_series(samples, end_s, end_s / 10)))
+    assert reports[0] == reports[1]
+    # The capped-buffer miodb trace stalls hard enough to breach 5us.
+    assert reports[0][0]["alerts"]
+
+
+def test_rolling_series_empty_windows_report_none():
+    series = rolling_series([], end_s=1.0, window_s=0.1, bins=4)
+    assert len(series["rows"]) == 5
+    assert all(row["p99_us"] is None for row in series["rows"])
+    assert all(row["count"] == 0 for row in series["rows"])
+    assert series["throughput_breaches"] == []
+
+
+def test_rolling_series_counts_and_percentiles():
+    samples = [(0.01 * (i + 1), 1e-4 * (i + 1)) for i in range(100)]
+    series = rolling_series(samples, end_s=1.0, window_s=0.25, bins=4, p=50.0)
+    by_t = {row["t_s"]: row for row in series["rows"]}
+    assert by_t[0.0]["count"] == 0
+    assert by_t[0.5]["count"] == 25  # samples in (0.25, 0.5]
+    assert by_t[1.0]["count"] == 25
+    assert by_t[1.0]["p50_us"] is not None
+
+
+def test_rolling_series_flags_throughput_breaches():
+    samples = [(0.01 * (i + 1), 1e-4) for i in range(50)]  # stop at 0.5s
+    series = rolling_series(
+        samples, end_s=1.0, window_s=0.25, bins=4, min_kiops=0.05
+    )
+    # After the load stops the windows empty out and undershoot the floor.
+    assert any(b["t_s"] >= 0.75 for b in series["throughput_breaches"])
+    # Leading edge before the first sample is not counted as a breach.
+    assert all(b["t_s"] > 0.0 for b in series["throughput_breaches"])
+
+
+def test_rolling_series_validation():
+    with pytest.raises(ValueError):
+        rolling_series([], end_s=1.0, window_s=0.0)
+    with pytest.raises(ValueError):
+        rolling_series([], end_s=1.0, window_s=0.1, bins=0)

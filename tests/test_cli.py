@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -95,3 +97,69 @@ def test_perf_subcommand_rejects_unknown_kernel(tmp_path):
 def test_bench_subcommand_rejects_missing_dir(tmp_path, capsys):
     rc = main(["bench", "--bench-dir", str(tmp_path / "nope")])
     assert rc == 2
+
+
+def test_analyze_subcommand_is_byte_identical(tmp_path, capsys):
+    argv = ["analyze", "--store", "miodb", "--n", "512", "--reads", "64"]
+    outs, jsons = [], []
+    for stem in ("a", "b"):
+        path = tmp_path / f"{stem}.json"
+        assert main(argv + ["--json", str(path)]) == 0
+        outs.append(capsys.readouterr().out)
+        jsons.append(path.read_bytes())
+    assert outs[0] == outs[1]
+    assert jsons[0] == jsons[1]
+    assert "conservation: exact" in outs[0]
+    assert "latency attribution" in outs[0]
+
+
+def test_analyze_subcommand_ycsb_mode(capsys):
+    rc = main(
+        ["analyze", "--store", "leveldb", "--n", "300", "--reads", "50",
+         "--mode", "ycsb-a", "--no-profile"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "leveldb" in out
+    assert "conservation: exact" in out
+
+
+def test_slo_subcommand_is_byte_identical(tmp_path, capsys):
+    argv = [
+        "slo", "--store", "miodb", "--n", "512", "--reads", "64",
+        "--threshold-us", "5",
+    ]
+    outs, jsons = [], []
+    for stem in ("a", "b"):
+        path = tmp_path / f"{stem}.json"
+        assert main(argv + ["--json", str(path)]) == 0
+        outs.append(capsys.readouterr().out)
+        jsons.append(path.read_bytes())
+    assert outs[0] == outs[1]
+    assert jsons[0] == jsons[1]
+    assert "SLO: op-latency" in outs[0]
+    assert "alert log" in outs[0]
+
+
+def test_compare_analyze_flag(capsys):
+    rc = main(["compare", "--store", "miodb", "--analyze"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "write_KIOPS" in out
+    assert "latency attribution" in out
+
+
+def test_cluster_analyze_flag(tmp_path, capsys):
+    path = tmp_path / "cluster-analysis.json"
+    rc = main(
+        ["cluster", "--store", "miodb", "--shards", "2", "--clients", "2",
+         "--ops", "100", "--preload", "200", "--key-space", "200",
+         "--analyze", "--analyze-json", str(path)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cluster attribution" in out
+    assert "conservation: exact" in out
+    doc = json.loads(path.read_text())
+    assert doc["n_shards"] == 2
+    assert doc["conservation"]["exact"]

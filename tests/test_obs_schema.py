@@ -162,7 +162,14 @@ def test_chrome_trace_document_schema():
 #: event vocabulary moves these, re-pin them alongside BENCH_perf.json.
 PINNED_COUNTS = {"transfer": 1476, "op": 576, "flush": 16, "compact": 7, "stall": 5}
 PINNED_CLOCK = 0.0017989877593358522
-PINNED_SHA256 = "48efc156fab6bd5baef817d0045427b8699c9f2024b1d5bb1ee9f86ea02f5ba5"
+PINNED_SHA256 = "20bae2caa49a92e3a29d55eb6184d3168c0166ca96e7ade942db6bd0e9d0915b"
+
+#: Pinned fingerprint of the 3-shard cluster trace built by
+#: :func:`_traced_cluster` below -- one recorder (one Perfetto process)
+#: per shard, merged by ``cluster_trace_json``.
+PINNED_CLUSTER_SHA256 = (
+    "321864ed6c04d78335d2791d4f9fdd77c0c2858ae8d327a8573eb250c2ac9d0c"
+)
 
 
 def test_trace_run_matches_pinned_fingerprint():
@@ -171,6 +178,53 @@ def test_trace_run_matches_pinned_fingerprint():
     assert system.clock.now == PINNED_CLOCK
     text = chrome_trace_json(recorder, process_name="miodb")
     assert hashlib.sha256(text.encode()).hexdigest() == PINNED_SHA256
+
+
+def _traced_cluster():
+    """A small traced 3-shard cluster run (one recorder per shard)."""
+    import math
+
+    from repro.bench.config import BenchScale
+    from repro.cluster import ClientSpec, Cluster, ShardRouter, run_cluster
+    from repro.kvstore.values import SizedValue
+    from repro.workloads.keys import key_for
+
+    scale = BenchScale(
+        memtable_bytes=8 << 10, dataset_bytes=1 << 20, value_size=256
+    )
+    cluster = Cluster("miodb", n_shards=3, scale=scale)
+    router = ShardRouter(cluster)
+    recorders = cluster.attach_tracing()
+    for i in range(300):
+        router.put(key_for(i), SizedValue(("seed", i), 256))
+    router.quiesce()
+    router.reset_window()
+    specs = [
+        ClientSpec(n_ops=150, rate_per_s=math.inf, key_space=300, seed=s)
+        for s in (1, 2)
+    ]
+    run_cluster(router, specs)
+    router.quiesce()
+    cluster.detach_tracing()
+    return cluster, recorders
+
+
+def test_multi_shard_trace_matches_pinned_fingerprint():
+    from repro.cluster import cluster_trace_json
+
+    cluster, recorders = _traced_cluster()
+    # One process per shard: every recorder contributed its own tracks.
+    assert len(recorders) == 3
+    assert all(len(r) > 0 for r in recorders)
+    text = cluster_trace_json(cluster, recorders)
+    assert hashlib.sha256(text.encode()).hexdigest() == PINNED_CLUSTER_SHA256
+    doc = json.loads(text)
+    pids = {
+        e["pid"]
+        for e in doc["traceEvents"]
+        if e.get("name") == "process_name"
+    }
+    assert len(pids) == 3
 
 
 def test_trace_cli_is_byte_identical_across_runs(tmp_path):
