@@ -127,6 +127,27 @@ class LevelDBStore(KVStore):
 
     # ------------------------------------------------------------- read path
 
+    def _batch_lookup(self):
+        tables = tuple(
+            t for t in (self.memtable, self.immutable) if t is not None
+        )
+        lsm_get = self.lsm.get
+
+        def lookup(key):
+            # Mirrors _get, including its quirk: a missing table's probe
+            # cost is discarded, not accumulated.
+            for table in tables:
+                node, cost = table.get(key)
+                if node is not None:
+                    return (None if node.is_tombstone else node.value), cost
+            entry, cost = lsm_get(key)
+            if entry is None:
+                return None, cost
+            value = entry[2]
+            return (None if value is TOMBSTONE else value), cost
+
+        return lookup
+
     def _get(self, key: bytes) -> Tuple[Optional[object], float]:
         for table in (self.memtable, self.immutable):
             if table is None:

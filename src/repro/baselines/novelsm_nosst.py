@@ -49,8 +49,23 @@ class NoveLSMNoSSTStore(KVStore):
             self.arena.shrink(dup.nbytes, self.system.now)
             dropped += 1
 
+    def _batch_lookup(self):
+        sl_lookup = self.skiplist.lookup
+        search_time = self.system.cpu.skiplist_search_time
+        nvm_read = self.system.nvm.read
+
+        def lookup(key):
+            node, hops = sl_lookup(key)
+            seconds = search_time("nvm", max(hops, 1))
+            if node is None:
+                return None, seconds
+            seconds += nvm_read(node.nbytes, sequential=False)
+            return (None if node.is_tombstone else node.value), seconds
+
+        return lookup
+
     def _get(self, key: bytes) -> Tuple[Optional[object], float]:
-        node, hops = self.skiplist.get(key)
+        node, hops = self.skiplist.lookup(key)
         seconds = self.system.cpu.skiplist_search_time("nvm", max(hops, 1))
         if node is None:
             return None, seconds

@@ -20,9 +20,15 @@ class BloomFilter:
     key budget), so compaction can OR filters without rebuilding them.
     The false-positive rate then degrades as merged tables grow -- the
     effect that caps the useful number of levels at ~8 in Figure 9.
+
+    Bits live in a list of 64-bit words rather than one arbitrary-width
+    int: ``x | (1 << pos)`` on a multi-KB int copies the whole integer
+    per probe, and ``(x >> pos) & 1`` walks it, so both add and query
+    scaled with filter size instead of with ``k``.  Probe positions and
+    membership answers are unchanged -- only the bit-storage layout is.
     """
 
-    __slots__ = ("nbits", "k", "_bits", "added", "_ones")
+    __slots__ = ("nbits", "k", "_words", "added", "_ones")
 
     def __init__(self, nbits: int, k: int) -> None:
         if nbits <= 0:
@@ -31,11 +37,11 @@ class BloomFilter:
             raise ValueError(f"k must be positive, got {k}")
         self.nbits = nbits
         self.k = k
-        self._bits = 0
+        self._words = [0] * ((nbits + 63) >> 6)
         self.added = 0
-        # Cached popcount of _bits; every query probe consults the
-        # saturation, so recounting a multi-thousand-bit integer per get
-        # dominated the read path.  Invalidated on every mutation.
+        # Cached popcount of the words; every query probe consults the
+        # saturation, so recounting thousands of bits per get dominated
+        # the read path.  Invalidated on every mutation.
         self._ones = 0
 
     @classmethod
@@ -50,36 +56,34 @@ class BloomFilter:
 
     def add(self, key: bytes) -> None:
         """Insert ``key``."""
-        bits = self._bits
+        words = self._words
         for pos in probe_positions(key, self.k, self.nbits):
-            bits |= 1 << pos
-        self._bits = bits
+            words[pos >> 6] |= 1 << (pos & 63)
         self._ones = None
         self.added += 1
 
     def add_all(self, keys: Iterable[bytes]) -> int:
         """Insert every key in ``keys``; returns how many were added.
 
-        Batched: the filter word is updated once at the end instead of
-        per key (building a PMTable filter adds thousands of keys).
+        Batched: the hot locals are hoisted once for the whole batch
+        (building a PMTable filter adds thousands of keys).
         """
         k, nbits = self.k, self.nbits
-        bits = self._bits
+        words = self._words
         count = 0
         for key in keys:
             for pos in probe_positions(key, k, nbits):
-                bits |= 1 << pos
+                words[pos >> 6] |= 1 << (pos & 63)
             count += 1
-        self._bits = bits
         self._ones = None
         self.added += count
         return count
 
     def may_contain(self, key: bytes) -> bool:
         """False means definitely absent; True means possibly present."""
-        bits = self._bits
+        words = self._words
         for pos in probe_positions(key, self.k, self.nbits):
-            if not (bits >> pos) & 1:
+            if not (words[pos >> 6] >> (pos & 63)) & 1:
                 return False
         return True
 
@@ -90,7 +94,10 @@ class BloomFilter:
                 "cannot merge bloom filters with different geometry: "
                 f"({self.nbits},{self.k}) vs ({other.nbits},{other.k})"
             )
-        self._bits |= other._bits
+        words = self._words
+        for i, w in enumerate(other._words):
+            if w:
+                words[i] |= w
         self._ones = None
         self.added += other.added
 
@@ -98,7 +105,7 @@ class BloomFilter:
     def saturation(self) -> float:
         """Fraction of bits set (drives the false-positive estimate)."""
         if self._ones is None:
-            self._ones = _popcount(self._bits)
+            self._ones = sum(map(_popcount, self._words))
         return self._ones / self.nbits
 
     def false_positive_rate(self) -> float:

@@ -56,7 +56,15 @@ def probe_positions(key: bytes, k: int, nbits: int) -> "tuple":
         raise ValueError(f"nbits must be positive, got {nbits}")
     h1, h2 = fnv1a_pair(key)
     h2 |= 1  # odd stride hits all positions
-    return tuple(((h1 + i * h2) & _MASK64) % nbits for i in range(k))
+    # Accumulating h1 + i*h2 instead of multiplying keeps the exact same
+    # integer sequence (exact int arithmetic) with one add per probe.
+    positions = []
+    append = positions.append
+    h = h1
+    for __ in range(k):
+        append((h & _MASK64) % nbits)
+        h += h2
+    return tuple(positions)
 
 
 def double_hashes(key: bytes, k: int, nbits: int) -> List[int]:

@@ -88,24 +88,31 @@ def _finish_trace(recorder, args, store_name: str, multi: bool) -> None:
     print(f"# trace: {out} ({len(recorder)} events)", file=sys.stderr)
 
 
+def _batch_arg(args):
+    """``--batch-size 0`` means the per-op loop (no coalescing)."""
+    return args.batch_size if args.batch_size > 0 else None
+
+
 def cmd_dbbench(args) -> int:
     scale = default_scale()
     n = args.n or scale.records_for(args.value_size)
+    batch = _batch_arg(args)
     rows = []
     multi = len(args.store) > 1
     for name in args.store:
         store, system = make_store(name, scale, ssd=args.ssd)
         recorder = _start_trace(system, args)
         if args.mode in ("fillrandom", "all"):
-            w = fill_random(store, n, args.value_size, seed=args.seed)
+            w = fill_random(store, n, args.value_size, seed=args.seed,
+                            batch_size=batch)
         else:
-            w = fill_seq(store, n, args.value_size)
+            w = fill_seq(store, n, args.value_size, batch_size=batch)
         store.quiesce()
         reads = min(args.reads, n)
         r = (
-            read_random(store, reads, n, seed=args.seed + 1)
+            read_random(store, reads, n, seed=args.seed + 1, batch_size=batch)
             if args.mode != "fillseq"
-            else read_seq(store, reads, n)
+            else read_seq(store, reads, n, batch_size=batch)
         )
         _finish_trace(recorder, args, name, multi)
         rows.append(
@@ -126,17 +133,19 @@ def cmd_ycsb(args) -> int:
         if wl not in YCSB_WORKLOADS:
             print(f"unknown YCSB workload {wl!r}", file=sys.stderr)
             return 2
+    batch = _batch_arg(args)
     rows = []
     multi = len(args.store) > 1
     for name in args.store:
         store, system = make_store(name, scale, ssd=args.ssd)
         recorder = _start_trace(system, args)
-        load = load_phase(store, n, args.value_size, seed=args.seed)
+        load = load_phase(store, n, args.value_size, seed=args.seed,
+                          batch_size=batch)
         row = [name, load.kiops]
         for wl in workloads:
             result = run_workload(
                 store, YCSB_WORKLOADS[wl], args.ops, n, args.value_size,
-                seed=args.seed + 7,
+                seed=args.seed + 7, batch_size=batch,
             )
             row.append(result.kiops)
         _finish_trace(recorder, args, name, multi)
@@ -378,6 +387,7 @@ def cmd_cluster(args) -> int:
         admission=admission,
         rebalance_every=args.rebalance_every,
         hot_factor=args.hot_factor,
+        batch_limit=_batch_arg(args),
     )
     router.quiesce()
 
@@ -481,12 +491,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_batch(p, default):
+        p.add_argument(
+            "--batch-size", type=int, default=default, metavar="N",
+            help="ops coalesced per multi_* call (wall-clock only; "
+                 "0 = per-op loop, default %(default)s)",
+        )
+
     p = sub.add_parser("dbbench", help="LevelDB-style microbenchmark")
     _add_common(p)
     p.add_argument("--mode", choices=["fillrandom", "fillseq", "all"],
                    default="fillrandom")
     p.add_argument("--n", type=int, default=None, help="records to write")
     p.add_argument("--reads", type=int, default=2000)
+    _add_batch(p, 128)
     p.set_defaults(func=cmd_dbbench)
 
     p = sub.add_parser("ycsb", help="YCSB load + workloads")
@@ -494,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", default="A,B,C")
     p.add_argument("--records", type=int, default=None)
     p.add_argument("--ops", type=int, default=1000)
+    _add_batch(p, 128)
     p.set_defaults(func=cmd_ycsb)
 
     p = sub.add_parser("compare", help="headline store comparison")
@@ -616,6 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rebalance-every", type=int, default=0, metavar="N",
                    help="hot-shard check every N completions (0 = off)")
     p.add_argument("--hot-factor", type=float, default=1.5)
+    _add_batch(p, 32)
     p.add_argument("--metrics", default=None, metavar="FILE",
                    help="write the deterministic cluster metrics JSON")
     p.add_argument("--analyze", action="store_true",

@@ -132,13 +132,16 @@ class MioDB(KVStore):
         last_seq = None
         with self.system.job_scope():
             if self.options.one_piece_flush:
+                bloom_keys = [] if bloom is not None else None
                 for node in table.skiplist.nodes():
                     entries += 1
                     pointers += node.height
                     if last_seq is None or node.seq > last_seq:
                         last_seq = node.seq
-                    if bloom is not None:
-                        bloom.add(node.key)
+                    if bloom_keys is not None:
+                        bloom_keys.append(node.key)
+                if bloom_keys:
+                    bloom.add_all(bloom_keys)
                 copy_seconds = self.system.dram.read(
                     table.capacity_bytes, sequential=True
                 )
@@ -261,6 +264,57 @@ class MioDB(KVStore):
         return self._finish("batch", start, seconds)
 
     # ------------------------------------------------------------- read path
+
+    def _batch_lookup(self):
+        tables = tuple(
+            t for t in (self.memtable, self.immutable) if t is not None
+        )
+        # One entry per PMTable in probe order, with the bloom gate
+        # pre-resolved: probe costs are pure functions of the filter
+        # geometry, and a saturated (or absent) filter always passes.
+        # Filters only change via settled background callbacks, after
+        # which multi_get requests a fresh closure.
+        cpu = self.system.cpu
+        gated = []
+        for level_tables in self.levels:
+            for pmtable in reversed(level_tables):
+                bloom = pmtable.bloom
+                if bloom is None or bloom.saturation > 0.9:
+                    gated.append((None, 0.0, 0.0, pmtable.get))
+                else:
+                    gated.append((
+                        bloom.may_contain,
+                        cpu.bloom_probe_time(bloom.k),
+                        cpu.bloom_probe_time(2),
+                        pmtable.get,
+                    ))
+        repo_get = self.repository.get
+
+        def lookup(key):
+            seconds = 0.0
+            for table in tables:
+                node, cost = table.get(key)
+                seconds += cost
+                if node is not None:
+                    return (None if node.is_tombstone else node.value), seconds
+            for may_contain, hit_cost, miss_cost, table_get in gated:
+                if may_contain is not None:
+                    if may_contain(key):
+                        seconds += hit_cost
+                    else:
+                        seconds += miss_cost
+                        continue
+                node, cost = table_get(key)
+                seconds += cost
+                if node is not None:
+                    return (None if node.is_tombstone else node.value), seconds
+            value, cost = repo_get(key)
+            seconds += cost
+            if value is None or value is TOMBSTONE:
+                return None, seconds
+            return value, seconds
+
+        return lookup
 
     def _get(self, key: bytes) -> Tuple[Optional[object], float]:
         seconds = 0.0

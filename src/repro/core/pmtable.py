@@ -73,7 +73,7 @@ class PMTable:
 
     def get(self, key: bytes):
         """Point lookup: NVM pointer chase plus payload read on a hit."""
-        node, hops = self.skiplist.get(key)
+        node, hops = self.skiplist.lookup(key)
         seconds = self.system.cpu.skiplist_search_time("nvm", max(hops, 1))
         if node is not None:
             seconds += self.system.nvm.read(node.nbytes, sequential=False)

@@ -100,7 +100,7 @@ class NvmRepository:
 
     def get(self, key: bytes) -> Tuple[Optional[object], float]:
         """Point lookup; returns (value_or_TOMBSTONE_or_None, seconds)."""
-        node, hops = self.skiplist.get(key)
+        node, hops = self.skiplist.lookup(key)
         seconds = self.system.cpu.skiplist_search_time("nvm", max(hops, 1))
         if node is None:
             return None, seconds

@@ -63,6 +63,84 @@ class KVStore(ABC):
         latency = self._finish("get", start, seconds)
         return value, latency
 
+    def multi_put(self, items) -> List[float]:
+        """Apply many puts in one call; returns per-op latencies.
+
+        Byte-identical to calling :meth:`put` once per ``(key, value)``
+        pair -- same simulated clock, stats totals, latency samples, and
+        (unless the trace recorder's coalesced mode is on) the same
+        trace events -- while the per-op Python dispatch floor (settle
+        checks, clock/stat attribute chases, plumbing calls) is paid
+        once per batch.  All keys are validated before any op runs.
+        """
+        ops = []
+        require = self._require_key
+        for key, value in items:
+            require(key)
+            ops.append((key, value, value_nbytes(value), len(key)))
+        return self._apply_batch("put", ops)
+
+    def multi_delete(self, keys) -> List[float]:
+        """Write a tombstone for every key; returns per-op latencies.
+
+        Equivalent to calling :meth:`delete` per key, with the same
+        batched bookkeeping as :meth:`multi_put`.
+        """
+        ops = []
+        require = self._require_key
+        for key in keys:
+            require(key)
+            ops.append((key, TOMBSTONE, 0, len(key)))
+        return self._apply_batch("delete", ops)
+
+    def multi_get(self, keys) -> List[Tuple[Optional[object], float]]:
+        """Look up many keys; returns ``(value_or_None, latency)`` pairs.
+
+        Equivalent to calling :meth:`get` per key.  Engines supply a
+        vectorized lookup via :meth:`_batch_lookup`; the base loop
+        re-requests it whenever settled background work may have
+        changed table structure, so mid-batch flushes and compactions
+        land exactly where the one-op-at-a-time path would see them.
+        """
+        keys = list(keys)
+        require = self._require_key
+        for key in keys:
+            require(key)
+        system = self.system
+        clock = system.clock
+        executor = system.executor
+        heap = executor._heap
+        settle = executor.settle
+        record = system.latency.record
+        obs = system.obs
+        coalesce = obs is not None and obs.coalesce_ops
+        fallback = self._get
+        lookup = self._batch_lookup() or fallback
+        results: List[Tuple[Optional[object], float]] = []
+        starts: List[float] = []
+        durs: List[float] = []
+        for key in keys:
+            if heap and heap[0][0] <= clock._now:
+                if settle():
+                    lookup = self._batch_lookup() or fallback
+            start = clock._now
+            value, seconds = lookup(key)
+            clock.advance(seconds)
+            now = clock._now
+            latency = now - start
+            record("get", now, latency)
+            results.append((value, latency))
+            if coalesce:
+                starts.append(start)
+                durs.append(latency)
+            elif obs is not None:
+                obs.span("foreground", "get", "op", start, now)
+        if keys:
+            system.stats.add("op.get", float(len(keys)))
+            if coalesce:
+                obs.op_batch("foreground", "get", starts, durs)
+        return results
+
     def scan(self, start_key: bytes, count: int) -> Tuple[List[Tuple[bytes, object]], float]:
         """Range query: up to ``count`` live pairs from ``start_key`` on."""
         self._require_key(start_key)
@@ -129,7 +207,67 @@ class KVStore(ABC):
     def _scan(self, start_key: bytes, count: int):
         """Range scan; return ``(pairs, duration)``."""
 
+    def _batch_lookup(self):
+        """Hook: a callable equivalent to ``_get`` with hot state hoisted.
+
+        :meth:`multi_get` calls this once per batch and again whenever a
+        settled background callback may have moved tables around; the
+        returned closure must produce byte-identical ``(value, seconds)``
+        pairs to ``_get``.  Returning ``None`` (the default) makes the
+        batch loop fall back to ``_get`` per key.
+        """
+        return None
+
     # -------------------------------------------------------------- plumbing
+
+    def _apply_batch(self, kind: str, ops) -> List[float]:
+        """Shared loop behind :meth:`multi_put` and :meth:`multi_delete`.
+
+        ``ops`` is a list of ``(key, value, value_bytes, key_len)``
+        tuples that already passed validation.  Per op this replays the
+        exact sequence of the unbatched path -- settle due background
+        work, stamp the start time, allocate the sequence number, apply
+        ``_put``, advance the clock, record the latency sample -- and
+        defers only the stats-registry adds (pure integer sums, exact in
+        float) and, in coalesced trace mode, the span emission.
+        """
+        system = self.system
+        clock = system.clock
+        executor = system.executor
+        heap = executor._heap
+        settle = executor.settle
+        record = system.latency.record
+        put_ = self._put
+        obs = system.obs
+        coalesce = obs is not None and obs.coalesce_ops
+        latencies: List[float] = []
+        starts: List[float] = []
+        durs: List[float] = []
+        user_bytes = 0
+        for key, value, value_bytes, key_len in ops:
+            if heap and heap[0][0] <= clock._now:
+                settle()
+            start = clock._now
+            self.seq += 1
+            seconds = put_(key, self.seq, value, value_bytes)
+            clock.advance(seconds)
+            now = clock._now
+            latency = now - start
+            record(kind, now, latency)
+            latencies.append(latency)
+            user_bytes += key_len + value_bytes
+            if coalesce:
+                starts.append(start)
+                durs.append(latency)
+            elif obs is not None:
+                obs.span("foreground", kind, "op", start, now)
+        if ops:
+            stats = system.stats
+            stats.add("user.bytes_written", user_bytes)
+            stats.add("op." + kind, float(len(ops)))
+            if coalesce:
+                obs.op_batch("foreground", kind, starts, durs)
+        return latencies
 
     def _finish(self, kind: str, start: float, seconds: float) -> float:
         self.system.clock.advance(seconds)

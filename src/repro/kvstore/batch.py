@@ -11,7 +11,22 @@ from repro.kvstore.values import value_nbytes
 
 
 class WriteBatch:
-    """An ordered collection of put/delete operations."""
+    """An ordered collection of put/delete operations.
+
+    Contract (every engine's ``write`` honors it, including the WAL
+    replay path after a crash):
+
+    - **Iteration order**: ``ops`` holds operations exactly in the order
+      ``put``/``delete`` were called, and engines apply them in that
+      order with strictly increasing sequence numbers.
+    - **Last write wins**: when the same key appears multiple times in
+      one batch, the operation queued last determines the key's final
+      state -- a later ``put`` shadows an earlier ``put`` or ``delete``,
+      a later ``delete`` tombstones an earlier ``put``.  Earlier
+      versions are still written (they cost what they cost); they are
+      simply shadowed by the higher sequence number.
+    - A batch can be reused after :meth:`clear`.
+    """
 
     def __init__(self) -> None:
         self.ops: List[Tuple[str, bytes, object]] = []
@@ -29,6 +44,11 @@ class WriteBatch:
         if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
             raise ValueError(f"keys must be non-empty bytes, got {key!r}")
         self.ops.append(("delete", bytes(key), None))
+        return self
+
+    def clear(self) -> "WriteBatch":
+        """Drop every queued operation; returns self for chaining."""
+        self.ops.clear()
         return self
 
     def __len__(self) -> int:

@@ -79,7 +79,7 @@ class MemTable:
         The cost covers the pointer chase plus, on a hit, reading the
         entry payload from the table's device.
         """
-        node, hops = self.skiplist.get(key)
+        node, hops = self.skiplist.lookup(key)
         seconds = self.system.cpu.skiplist_search_time(self.placement, max(hops, 1))
         if node is not None:
             seconds += self.device.read(node.nbytes, sequential=False)

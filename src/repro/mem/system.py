@@ -84,16 +84,18 @@ class HybridMemorySystem:
             devices.append(self.ssd)
         return devices
 
-    def attach_tracing(self):
+    def attach_tracing(self, coalesce_ops: bool = False):
         """Attach a fresh :class:`~repro.obs.recorder.TraceRecorder`.
 
         Returns the recorder; every store on this system starts emitting
         op/stall/flush/compact/transfer events until
         :meth:`detach_tracing` (or ``recorder.detach()``) is called.
+        With ``coalesce_ops`` the ``multi_*`` entry points emit one
+        coalesced op span per batch instead of one span per op.
         """
         from repro.obs.recorder import TraceRecorder
 
-        return TraceRecorder(self.clock).attach(self)
+        return TraceRecorder(self.clock, coalesce_ops=coalesce_ops).attach(self)
 
     def detach_tracing(self) -> None:
         """Detach the current recorder, if any (idempotent)."""

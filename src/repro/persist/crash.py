@@ -1,6 +1,6 @@
 """Cooperative crash injection for failure-recovery testing."""
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 
 class SimulatedCrash(Exception):
@@ -23,7 +23,6 @@ class CrashInjector:
     def __init__(self) -> None:
         self._armed: Dict[str, int] = {}
         self._hits: Dict[str, int] = {}
-        self.log: List[str] = []
 
     def arm(self, point: str, after_hits: int = 1) -> None:
         """Crash on the ``after_hits``-th time ``point`` is reached."""
@@ -41,7 +40,6 @@ class CrashInjector:
     def reach(self, point: str) -> None:
         """Record reaching ``point``; raise if its trigger fires."""
         self._hits[point] = self._hits.get(point, 0) + 1
-        self.log.append(point)
         threshold = self._armed.get(point)
         if threshold is not None and self._hits[point] >= threshold:
             # Single-shot: a crash point fires once, then disarms, so the

@@ -57,9 +57,10 @@ class WriteAheadLog:
         """Append one record; returns the simulated write duration."""
         record = WalRecord(seq, key, value, value_bytes)
         self._records.append(record)
-        self.appended_bytes += record.frame_bytes
-        self.device.allocate(record.frame_bytes)
-        return self.device.write(record.frame_bytes, sequential=True)
+        frame = RECORD_HEADER_BYTES + len(key) + value_bytes
+        self.appended_bytes += frame
+        self.device.allocate(frame)
+        return self.device.write(frame, sequential=True)
 
     def append_batch(self, items) -> float:
         """Append an atomic batch of ``(seq, key, value, value_bytes)``.

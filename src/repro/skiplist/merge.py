@@ -42,7 +42,8 @@ class ZeroCopyMerge:
         """
         if self.done:
             return False
-        node = self.new.first_node()
+        new = self.new
+        node = new.head.next[0]
         if node is None:
             self._finish()
             return False
@@ -50,13 +51,13 @@ class ZeroCopyMerge:
         # 1. Record the in-flight node, then unlink it from the newtable.
         #    As the minimum element its predecessors are all the head node.
         self.insertion_mark = node
-        preds = [self.new.head] * len(node.next)
-        self.new.unlink(node, preds, to_garbage=False)
+        preds = [new.head] * len(node.next)
+        new.unlink(node, preds, to_garbage=False)
         self.pointer_writes += node.height
 
         # 2. Drop older versions of the same key at the newtable front
         #    (seq-descending order puts them immediately after the newest).
-        self._drop_leading_duplicates(self.new, node.key)
+        self._drop_leading_duplicates(new, node.key)
 
         # 3. Splice the node into the oldtable at (key, seq) order.
         old_preds, hops = self.old._find_predecessors(node.key, node.seq)
@@ -71,23 +72,64 @@ class ZeroCopyMerge:
         self._drop_following_duplicates(node)
 
         self.insertion_mark = None
-        if self.new.first_node() is None:
+        if new.head.next[0] is None:
             self._finish()
             return False
         return True
 
     def run(self) -> "ZeroCopyMerge":
-        """Drive the merge to completion; returns self for chaining."""
-        while self.step():
-            pass
+        """Drive the merge to completion; returns self for chaining.
+
+        Same node-by-node procedure as :meth:`step` with the hot state
+        held in locals for the whole merge; counters, hop charges, and
+        the resulting structure are identical.  Runs synchronously (no
+        queries interleave), so the insertion mark is not maintained.
+        """
+        if self.done:
+            return self
+        new = self.new
+        old = self.old
+        head = new.head
+        find = old._find_predecessors
+        unlink = new.unlink
+        pointer_writes = 0
+        search_hops = 0
+        nodes_moved = 0
+        while True:
+            node = head.next[0]
+            if node is None:
+                break
+            key = node.key
+            unlink(node, [head] * len(node.next), to_garbage=False)
+            pointer_writes += node.height
+            dup = head.next[0]
+            while dup is not None and dup.key == key:
+                unlink(dup, [head] * len(dup.next), to_garbage=True)
+                pointer_writes += dup.height
+                self.nodes_dropped += 1
+                dup = head.next[0]
+            old_preds, hops = find(key, node.seq)
+            search_hops += hops
+            nxt = node.next
+            for level in range(node.height):
+                nxt[level] = None
+            old._splice_in(node, old_preds)
+            pointer_writes += node.height
+            nodes_moved += 1
+            self._drop_following_duplicates(node)
+        self.pointer_writes += pointer_writes
+        self.search_hops += search_hops
+        self.nodes_moved += nodes_moved
+        self._finish()
         return self
 
     def _drop_leading_duplicates(self, table: SkipList, key: bytes) -> None:
+        head = table.head
         while True:
-            dup = table.first_node()
+            dup = head.next[0]
             if dup is None or dup.key != key:
                 return
-            preds = [table.head] * len(dup.next)
+            preds = [head] * len(dup.next)
             table.unlink(dup, preds, to_garbage=True)
             self.pointer_writes += dup.height
             self.nodes_dropped += 1

@@ -9,6 +9,7 @@ Search methods return ``(node, hops)`` pairs; the hop counts feed the CPU
 cost model (a hop on NVM is several times more expensive than on DRAM).
 """
 
+from bisect import bisect_left
 from typing import Iterator, List, Optional, Tuple
 
 from repro.skiplist.node import (
@@ -29,6 +30,19 @@ class SkipList:
         self.entries = 0
         self.data_bytes = 0
         self.garbage_bytes = 0
+        # Upper bound on the tallest linked tower.  Levels above it are
+        # guaranteed empty, so searches skip them outright; unlinking the
+        # tallest node leaves the bound stale-high, which is correct
+        # (those levels are walked and found empty) just not tight.
+        self._tallest = 0
+        # Structural version, bumped on every link/unlink; the frozen
+        # index below is valid only while the version it captured holds.
+        self._version = 0
+        self._index: Optional[Tuple[List[bytes], List[Node], List[int]]] = None
+        self._index_version = -1
+        self._index_hits = 0
+        self._index_misses = 0
+        self._rebuild_after = 8
 
     # -------------------------------------------------------------- queries
 
@@ -47,7 +61,10 @@ class SkipList:
         node = self.head
         preds = [node] * MAX_HEIGHT
         hops = 0
-        for level in range(MAX_HEIGHT - 1, -1, -1):
+        # Levels above the tallest linked tower hold no nodes: walking
+        # them adds no hops and leaves their predecessor at the head,
+        # exactly what the preds prefill already says.
+        for level in range(self._tallest - 1, -1, -1):
             nxt = node.next[level]
             while nxt is not None:
                 nkey = nxt.key
@@ -80,6 +97,72 @@ class SkipList:
             node = node.next[0]
             hops += 1
         return None, hops
+
+    def frozen_index(self):
+        """Bottom-level snapshot ``(keys, nodes, hops_at)`` or ``None``.
+
+        ``hops_at[p]`` is exactly the number of forward hops the level
+        descent of :meth:`first_ge` pays to reach bottom-level position
+        ``p``: the nodes stepped onto are precisely the suffix maxima of
+        the tower heights in the prefix ``[0, p)`` (a node is visited iff
+        no node between it and the target is strictly taller; equal
+        heights are both visited).  A monotonic stack yields those counts
+        in one O(n) pass, so an index query can charge the byte-identical
+        hop cost without walking the towers.
+
+        The index is rebuilt lazily when the structural version moved.
+        Rebuilds back off exponentially while they keep getting
+        invalidated before being used (an in-flight zero-copy merge
+        relinks nodes every step); callers then get ``None`` and must
+        fall back to the walking search.
+        """
+        if self._index_version == self._version:
+            self._index_hits += 1
+            return self._index
+        self._index_misses += 1
+        if self._index is not None:
+            if self._index_misses < self._rebuild_after:
+                return None
+            if self._index_hits < 4:
+                self._rebuild_after = min(1024, self._rebuild_after * 2)
+            else:
+                self._rebuild_after = 8
+        keys: List[bytes] = []
+        nodes: List[Node] = []
+        hops_at = [0]
+        stack: List[int] = []
+        node = self.head.next[0]
+        while node is not None:
+            keys.append(node.key)
+            nodes.append(node)
+            height = node.height
+            while stack and stack[-1] < height:
+                stack.pop()
+            stack.append(height)
+            hops_at.append(len(stack))
+            node = node.next[0]
+        self._index = (keys, nodes, hops_at)
+        self._index_version = self._version
+        self._index_hits = 0
+        self._index_misses = 0
+        return self._index
+
+    def lookup(self, key: bytes) -> Tuple[Optional[Node], int]:
+        """Newest version of ``key``: index-accelerated :meth:`get`.
+
+        Returns the identical ``(node, hops)`` pair ``get(key)`` would --
+        same node object, same charged hop count -- via one bisect over
+        the frozen index when it is current, falling back to the walking
+        search otherwise.
+        """
+        index = self.frozen_index()
+        if index is None:
+            return self.get(key)
+        keys, nodes, hops_at = index
+        p = bisect_left(keys, key)
+        if p < len(keys) and keys[p] == key:
+            return nodes[p], hops_at[p]
+        return None, hops_at[p]
 
     def nodes(self) -> Iterator[Node]:
         """Every version in order, including tombstones."""
@@ -158,6 +241,9 @@ class SkipList:
             pred.next[level] = node
         self.entries += 1
         self.data_bytes += node.nbytes
+        if node.height > self._tallest:
+            self._tallest = node.height
+        self._version += 1
 
     def update_in_place(self, node: Node, seq: int, value, value_bytes: int) -> int:
         """Overwrite a node's payload (MioDB's repository update path).
@@ -177,6 +263,9 @@ class SkipList:
         node.value = value
         node.nbytes = new_nbytes
         self.data_bytes += delta
+        # No _version bump: the node keeps its position (sole version of
+        # its key, checked above) and the frozen index holds node
+        # references, so payload updates stay visible through it.
         return delta
 
     def unlink(self, node: Node, preds: List[Node], to_garbage: bool = True) -> None:
@@ -193,6 +282,7 @@ class SkipList:
             pred.next[level] = node.next[level]
         self.entries -= 1
         self.data_bytes -= node.nbytes
+        self._version += 1
         if to_garbage:
             self.garbage_bytes += node.nbytes
 

@@ -3,6 +3,13 @@
 Four modes, matching LevelDB's tool: fillrandom, fillseq, readrandom,
 readseq.  Writes use 16-byte keys and a configurable nominal value size;
 reads query keys known to exist.
+
+Every phase accepts a ``batch_size``: chunks of that many consecutive
+operations from the *same* deterministic sequence go through the
+store's ``multi_*`` entry points instead of one call per op.  Batching
+changes only wall-clock time -- the op stream, simulated clock, stats,
+and latency samples are byte-identical either way (see
+docs/performance.md).
 """
 
 from typing import Optional
@@ -13,79 +20,159 @@ from repro.workloads.keys import key_for
 from repro.workloads.runner import Phase, RunResult
 
 
+def _check_batch(batch_size: Optional[int]) -> None:
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+
+
 def fill_random(
-    store, n: int, value_size: int, seed: int = 1, quiesce: bool = False
+    store,
+    n: int,
+    value_size: int,
+    seed: int = 1,
+    quiesce: bool = False,
+    batch_size: Optional[int] = None,
 ) -> RunResult:
     """Write ``n`` KV pairs in random key order."""
+    _check_batch(batch_size)
     order = list(range(n))
     XorShiftRng(seed).shuffle(order)
     with Phase("fillrandom", store.system) as phase:
-        for tag, index in enumerate(order):
-            store.put(key_for(index), SizedValue(tag, value_size))
+        if batch_size is None:
+            for tag, index in enumerate(order):
+                store.put(key_for(index), SizedValue(tag, value_size))
+        else:
+            for at in range(0, n, batch_size):
+                store.multi_put([
+                    (key_for(index), SizedValue(tag, value_size))
+                    for tag, index in enumerate(
+                        order[at:at + batch_size], start=at
+                    )
+                ])
         if quiesce:
             store.quiesce()
     return phase.result()
 
 
 def fill_seq(
-    store, n: int, value_size: int, quiesce: bool = False
+    store,
+    n: int,
+    value_size: int,
+    quiesce: bool = False,
+    batch_size: Optional[int] = None,
 ) -> RunResult:
     """Write ``n`` KV pairs in ascending key order."""
+    _check_batch(batch_size)
     with Phase("fillseq", store.system) as phase:
-        for index in range(n):
-            store.put(key_for(index), SizedValue(index, value_size))
+        if batch_size is None:
+            for index in range(n):
+                store.put(key_for(index), SizedValue(index, value_size))
+        else:
+            for at in range(0, n, batch_size):
+                store.multi_put([
+                    (key_for(index), SizedValue(index, value_size))
+                    for index in range(at, min(at + batch_size, n))
+                ])
         if quiesce:
             store.quiesce()
     return phase.result()
 
 
 def read_random(
-    store, n_reads: int, key_space: int, seed: int = 2, expect_hits: bool = True
+    store,
+    n_reads: int,
+    key_space: int,
+    seed: int = 2,
+    expect_hits: bool = True,
+    batch_size: Optional[int] = None,
 ) -> RunResult:
     """Read ``n_reads`` uniformly random existing keys."""
+    _check_batch(batch_size)
     rng = XorShiftRng(seed)
     misses = 0
     with Phase("readrandom", store.system) as phase:
-        for __ in range(n_reads):
-            value, __lat = store.get(key_for(rng.next_below(key_space)))
-            if value is None:
-                misses += 1
+        if batch_size is None:
+            for __ in range(n_reads):
+                value, __lat = store.get(key_for(rng.next_below(key_space)))
+                if value is None:
+                    misses += 1
+        else:
+            for at in range(0, n_reads, batch_size):
+                keys = [
+                    key_for(rng.next_below(key_space))
+                    for __ in range(min(batch_size, n_reads - at))
+                ]
+                for value, __lat in store.multi_get(keys):
+                    if value is None:
+                        misses += 1
     if expect_hits and misses:
         raise AssertionError(f"readrandom missed {misses}/{n_reads} existing keys")
     return phase.result()
 
 
 def read_seq(
-    store, n_reads: int, key_space: int, start: Optional[int] = None
+    store, n_reads: int, key_space: int, start: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> RunResult:
     """Read keys in ascending order (db_bench's readseq)."""
+    _check_batch(batch_size)
     first = 0 if start is None else start
     with Phase("readseq", store.system) as phase:
-        for i in range(n_reads):
-            store.get(key_for((first + i) % key_space))
+        if batch_size is None:
+            for i in range(n_reads):
+                store.get(key_for((first + i) % key_space))
+        else:
+            for at in range(0, n_reads, batch_size):
+                store.multi_get([
+                    key_for((first + i) % key_space)
+                    for i in range(at, min(at + batch_size, n_reads))
+                ])
     return phase.result()
 
 
 def overwrite(
-    store, n: int, key_space: int, value_size: int, seed: int = 3
+    store, n: int, key_space: int, value_size: int, seed: int = 3,
+    batch_size: Optional[int] = None,
 ) -> RunResult:
     """Random overwrites of existing keys (db_bench's overwrite)."""
+    _check_batch(batch_size)
     rng = XorShiftRng(seed)
     with Phase("overwrite", store.system) as phase:
-        for tag in range(n):
-            store.put(
-                key_for(rng.next_below(key_space)),
-                SizedValue(("ow", tag), value_size),
-            )
+        if batch_size is None:
+            for tag in range(n):
+                store.put(
+                    key_for(rng.next_below(key_space)),
+                    SizedValue(("ow", tag), value_size),
+                )
+        else:
+            for at in range(0, n, batch_size):
+                store.multi_put([
+                    (
+                        key_for(rng.next_below(key_space)),
+                        SizedValue(("ow", tag), value_size),
+                    )
+                    for tag in range(at, min(at + batch_size, n))
+                ])
     return phase.result()
 
 
-def delete_random(store, n: int, key_space: int, seed: int = 4) -> RunResult:
+def delete_random(
+    store, n: int, key_space: int, seed: int = 4,
+    batch_size: Optional[int] = None,
+) -> RunResult:
     """Random deletions (db_bench's deleterandom)."""
+    _check_batch(batch_size)
     rng = XorShiftRng(seed)
     with Phase("deleterandom", store.system) as phase:
-        for __ in range(n):
-            store.delete(key_for(rng.next_below(key_space)))
+        if batch_size is None:
+            for __ in range(n):
+                store.delete(key_for(rng.next_below(key_space)))
+        else:
+            for at in range(0, n, batch_size):
+                store.multi_delete([
+                    key_for(rng.next_below(key_space))
+                    for __ in range(min(batch_size, n - at))
+                ])
     return phase.result()
 
 

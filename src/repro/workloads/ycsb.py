@@ -42,13 +42,27 @@ YCSB_WORKLOADS: Dict[str, YcsbSpec] = {
 }
 
 
-def load_phase(store, n: int, value_size: int, seed: int = 11) -> RunResult:
+def load_phase(
+    store, n: int, value_size: int, seed: int = 11,
+    batch_size: Optional[int] = None,
+) -> RunResult:
     """YCSB Load: insert ``n`` records in hashed (random-looking) order."""
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     order = list(range(n))
     XorShiftRng(seed).shuffle(order)
     with Phase("load", store.system) as phase:
-        for tag, index in enumerate(order):
-            store.put(key_for(index), SizedValue(("load", tag), value_size))
+        if batch_size is None:
+            for tag, index in enumerate(order):
+                store.put(key_for(index), SizedValue(("load", tag), value_size))
+        else:
+            for at in range(0, n, batch_size):
+                store.multi_put([
+                    (key_for(index), SizedValue(("load", tag), value_size))
+                    for tag, index in enumerate(
+                        order[at:at + batch_size], start=at
+                    )
+                ])
     return phase.result()
 
 
@@ -60,12 +74,21 @@ def run_workload(
     value_size: int,
     seed: int = 23,
     check_reads: bool = False,
+    batch_size: Optional[int] = None,
 ) -> RunResult:
     """Run ``n_ops`` operations of one YCSB workload against ``store``.
 
     ``record_count`` is the number of records loaded beforehand; inserts
     extend the key space past it.
+
+    With a ``batch_size``, runs of consecutive same-kind operations
+    (reads, or updates/inserts) are coalesced through ``multi_get`` /
+    ``multi_put`` up to that length.  The draw sequence, op order, and
+    every simulated number are unchanged; with ``check_reads`` a missed
+    read is reported when its batch flushes rather than instantly.
     """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     rng = XorShiftRng(seed)
     if spec.distribution == "latest":
         chooser = LatestGenerator(record_count, rng.fork(1))
@@ -76,32 +99,91 @@ def run_workload(
     next_insert = record_count
     thresholds = _mix_thresholds(spec)
 
-    with Phase(f"ycsb-{spec.name}", store.system) as phase:
-        for op_index in range(n_ops):
-            draw = rng.next_float()
-            if draw < thresholds["read"]:
-                value, __ = store.get(key_for(chooser.next()))
+    buffer: list = []
+    buffer_kind: Optional[str] = None
+
+    def flush() -> None:
+        nonlocal buffer_kind
+        if not buffer:
+            return
+        if buffer_kind == "get":
+            for value, __ in store.multi_get(buffer):
                 if check_reads and value is None:
                     raise AssertionError("YCSB read missed a loaded key")
-            elif draw < thresholds["update"]:
-                store.put(
-                    key_for(chooser.next()),
-                    SizedValue(("upd", op_index), value_size),
-                )
-            elif draw < thresholds["insert"]:
-                store.put(
-                    key_for(next_insert),
-                    SizedValue(("ins", op_index), value_size),
-                )
-                if isinstance(chooser, LatestGenerator):
-                    chooser.observe_insert(next_insert)
-                next_insert += 1
-            elif draw < thresholds["scan"]:
-                store.scan(key_for(chooser.next()), spec.scan_length)
-            else:  # read-modify-write
-                key = key_for(chooser.next())
-                store.get(key)
-                store.put(key, SizedValue(("rmw", op_index), value_size))
+        else:
+            store.multi_put(buffer)
+        buffer.clear()
+        buffer_kind = None
+
+    def enqueue(kind: str, item) -> None:
+        nonlocal buffer_kind
+        if buffer_kind != kind:
+            flush()
+            buffer_kind = kind
+        buffer.append(item)
+        if len(buffer) >= batch_size:
+            flush()
+
+    with Phase(f"ycsb-{spec.name}", store.system) as phase:
+        if batch_size is None:
+            for op_index in range(n_ops):
+                draw = rng.next_float()
+                if draw < thresholds["read"]:
+                    value, __ = store.get(key_for(chooser.next()))
+                    if check_reads and value is None:
+                        raise AssertionError("YCSB read missed a loaded key")
+                elif draw < thresholds["update"]:
+                    store.put(
+                        key_for(chooser.next()),
+                        SizedValue(("upd", op_index), value_size),
+                    )
+                elif draw < thresholds["insert"]:
+                    store.put(
+                        key_for(next_insert),
+                        SizedValue(("ins", op_index), value_size),
+                    )
+                    if isinstance(chooser, LatestGenerator):
+                        chooser.observe_insert(next_insert)
+                    next_insert += 1
+                elif draw < thresholds["scan"]:
+                    store.scan(key_for(chooser.next()), spec.scan_length)
+                else:  # read-modify-write
+                    key = key_for(chooser.next())
+                    store.get(key)
+                    store.put(key, SizedValue(("rmw", op_index), value_size))
+        else:
+            # Same draw sequence; consecutive same-kind ops coalesce.
+            for op_index in range(n_ops):
+                draw = rng.next_float()
+                if draw < thresholds["read"]:
+                    enqueue("get", key_for(chooser.next()))
+                elif draw < thresholds["update"]:
+                    enqueue(
+                        "put",
+                        (
+                            key_for(chooser.next()),
+                            SizedValue(("upd", op_index), value_size),
+                        ),
+                    )
+                elif draw < thresholds["insert"]:
+                    enqueue(
+                        "put",
+                        (
+                            key_for(next_insert),
+                            SizedValue(("ins", op_index), value_size),
+                        ),
+                    )
+                    if isinstance(chooser, LatestGenerator):
+                        chooser.observe_insert(next_insert)
+                    next_insert += 1
+                elif draw < thresholds["scan"]:
+                    flush()
+                    store.scan(key_for(chooser.next()), spec.scan_length)
+                else:  # read-modify-write: the get must precede the put
+                    key = key_for(chooser.next())
+                    enqueue("get", key)
+                    enqueue("put", (key, SizedValue(("rmw", op_index), value_size)))
+            flush()
     return phase.result()
 
 

@@ -107,6 +107,79 @@ def test_batch_survives_crash_after_commit():
         assert value is not None and value.tag == i
 
 
+def test_batch_clear_allows_reuse(system, tiny_mio_options):
+    store = MioDB(system, tiny_mio_options)
+    batch = WriteBatch().put(b"a", b"1").delete(b"b")
+    assert batch.clear() is batch
+    assert batch.is_empty and len(batch) == 0
+    batch.put(b"c", b"2")
+    store.write(batch)
+    assert store.get(b"a")[0] is None  # cleared op never ran
+    assert store.get(b"c")[0] == b"2"
+
+
+def test_batch_iteration_order_is_insertion_order():
+    batch = WriteBatch()
+    batch.put(b"x", b"1").delete(b"y").put(b"x", b"2")
+    assert [(op, key) for op, key, __ in batch.ops] == [
+        ("put", b"x"), ("delete", b"y"), ("put", b"x"),
+    ]
+
+
+@pytest.mark.parametrize(
+    "ops,expect",
+    [
+        # last write wins: the op queued last determines the final state
+        ([("put", b"1"), ("put", b"2")], b"2"),
+        ([("put", b"1"), ("delete", None), ("put", b"3")], b"3"),
+        ([("put", b"1"), ("delete", None)], None),
+        ([("delete", None), ("put", b"4")], b"4"),
+    ],
+)
+def test_batch_duplicate_keys_last_write_wins(ops, expect):
+    from repro.bench import STORE_NAMES
+    from repro.bench.config import BenchScale
+    from repro.bench.factory import make_store
+
+    scale = BenchScale(memtable_bytes=8 * KB)
+    for name in STORE_NAMES:
+        store, __ = make_store(name, scale)
+        store.put(b"dup", b"seed")
+        batch = WriteBatch()
+        for op, value in ops:
+            if op == "put":
+                batch.put(b"dup", value)
+            else:
+                batch.delete(b"dup")
+        store.write(batch)
+        assert store.get(b"dup")[0] == expect, name
+        store.quiesce()
+        assert store.get(b"dup")[0] == expect, (name, "after quiesce")
+
+
+def test_batch_duplicate_keys_lww_survives_crash_replay():
+    """WAL replay applies duplicate-key batch ops in order (LWW holds)."""
+    system = HybridMemorySystem()
+    injector = CrashInjector()
+    store = MioDB(
+        system,
+        MioOptions(memtable_bytes=8 * KB, num_levels=3),
+        crash_injector=injector,
+    )
+    batch = WriteBatch()
+    batch.put(b"dup", SizedValue("old", 128))
+    batch.delete(b"dup")
+    batch.put(b"dup", SizedValue("new", 128))
+    batch.put(b"gone", SizedValue("x", 128)).delete(b"gone")
+    injector.arm("write.after_wal_batch")
+    with pytest.raises(SimulatedCrash):
+        store.write(batch)
+    recovered, __ = recover(store)
+    value, __lat = recovered.get(b"dup")
+    assert value is not None and value.tag == "new"
+    assert recovered.get(b"gone")[0] is None
+
+
 # ---------------------------------------------------------------- items()
 
 

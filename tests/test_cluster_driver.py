@@ -170,6 +170,65 @@ def test_per_shard_accounting_sums_to_totals():
     assert merged.summary("response").p99 == result.response.p99
 
 
+def test_batch_limit_validation():
+    router = make_router(n_shards=2)
+    with pytest.raises(ValueError):
+        run_cluster(router, [spec()], batch_limit=0)
+
+
+def test_batch_limit_does_not_change_simulated_results():
+    """Queue-drain coalescing is wall-clock only: every simulated number
+    -- metrics document, final clock, and store contents -- is identical
+    whether the driver serves one request per scheduler scan or drains
+    whole runs."""
+
+    def drive(limit):
+        router = make_router()
+        preload(router)
+        result = run_cluster(
+            router,
+            [spec(seed=s, n_ops=300) for s in (1, 2)],
+            batch_limit=limit,
+        )
+        doc = cluster_metrics_json(router.cluster, router, result)
+        items = [(k, v.tag) for k, v in router.items()]
+        return doc, router.cluster.clock.now, items
+
+    reference = drive(1)  # the one-request-at-a-time loop
+    for limit in (None, 4, 33):
+        assert drive(limit) == reference, limit
+
+
+def test_batched_driver_matches_flat_store_oracle():
+    """With one closed-loop client nothing reorders: the batched driver
+    must leave the cluster in exactly the state a flat store reaches by
+    replaying the client's deterministic op stream."""
+    from repro.bench.factory import make_store
+    from repro.cluster.driver import _ClientState
+
+    client = spec(n_ops=400, seed=7, read_fraction=0.4)
+    router = make_router()
+    preload(router)
+    result = run_cluster(router, [client], batch_limit=16)
+    assert result.completed == 400 and result.dropped == 0
+    router.quiesce()
+
+    flat, __ = make_store("miodb", SCALE)
+    for i in range(500):
+        flat.put(key_for(i), SizedValue(("seed", i), 256))
+    state = _ClientState(0, client)
+    for __n in range(client.n_ops):
+        request = state.make_request(0.0)
+        if request.kind == "get":
+            flat.get(request.key)
+        else:
+            flat.put(request.key, SizedValue(request.tag, client.value_size))
+    flat.quiesce()
+    assert [(k, v.tag) for k, v in router.items()] == [
+        (k, v.tag) for k, v in flat.items()
+    ]
+
+
 def test_skew_concentrates_traffic():
     router = make_router()
     preload(router)

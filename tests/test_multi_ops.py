@@ -1,0 +1,222 @@
+"""Batched multi-op entry points (``multi_put``/``multi_get``/``multi_delete``).
+
+The batched execution engine's core contract, asserted for every store
+in the library: running an op sequence through the ``multi_*`` entry
+points is **byte-identical** to running it one op at a time -- same
+return values, same final store contents, same stats snapshot, same
+simulated clock, and the same trace artifact.  Batching buys wall-clock
+time only (docs/performance.md); nothing simulated may move.
+"""
+
+import pytest
+
+from repro.bench.config import BenchScale
+from repro.bench.factory import STORE_NAMES, make_store
+from repro.kvstore.values import SizedValue
+from repro.obs import chrome_trace_json
+from repro.sim.rng import XorShiftRng
+
+KB = 1 << 10
+SCALE = BenchScale(memtable_bytes=8 * KB, dataset_bytes=1 << 20, value_size=256)
+
+
+def _op_sequence(n=700, key_space=220, seed=11):
+    """A deterministic mixed put/get/delete sequence."""
+    rng = XorShiftRng(seed)
+    ops = []
+    for i in range(n):
+        draw = rng.next_below(100)
+        key = b"key%05d" % rng.next_below(key_space)
+        if draw < 55:
+            ops.append(("put", key, SizedValue(("v", i), 256)))
+        elif draw < 90:
+            ops.append(("get", key, None))
+        else:
+            ops.append(("delete", key, None))
+    return ops
+
+
+def _run(name, batched, chunk=48, trace=False):
+    """One run of the sequence; returns every observable artifact."""
+    store, system = make_store(name, SCALE)
+    recorder = system.attach_tracing() if trace else None
+    ops = _op_sequence()
+    outs = []
+    if not batched:
+        for kind, key, value in ops:
+            if kind == "put":
+                outs.append(store.put(key, value))
+            elif kind == "get":
+                outs.append(store.get(key))
+            else:
+                outs.append(store.delete(key))
+    else:
+        # Coalesce runs of consecutive same-kind ops, capped at `chunk`.
+        i = 0
+        while i < len(ops):
+            j = i
+            kind = ops[i][0]
+            while j < len(ops) and ops[j][0] == kind and j - i < chunk:
+                j += 1
+            block = ops[i:j]
+            if kind == "put":
+                outs.extend(store.multi_put([(k, v) for __, k, v in block]))
+            elif kind == "get":
+                outs.extend(store.multi_get([k for __, k, __v in block]))
+            else:
+                outs.extend(store.multi_delete([k for __, k, __v in block]))
+            i = j
+    store.quiesce()
+    items = list(store.items())
+    snapshot = system.stats.snapshot()
+    clock = system.clock.now
+    if recorder is not None:
+        recorder.detach()
+        trace_text = chrome_trace_json(recorder, name)
+    else:
+        trace_text = ""
+    return outs, items, snapshot, clock, trace_text
+
+
+@pytest.mark.parametrize("name", STORE_NAMES)
+def test_batched_run_is_byte_identical(name):
+    unbatched = _run(name, batched=False)
+    batched = _run(name, batched=True)
+    labels = ("outputs", "items", "stats", "clock", "trace")
+    for label, (a, b) in zip(labels, zip(unbatched, batched)):
+        assert a == b, f"{name}: batched run diverged on {label}"
+
+
+def test_batched_trace_is_byte_identical_miodb():
+    # Trace comparison is expensive; one store with full background
+    # machinery (flush + zero-copy + lazy-copy) covers the event stream.
+    unbatched = _run("miodb", batched=False, trace=True)
+    batched = _run("miodb", batched=True, trace=True)
+    assert unbatched[4] == batched[4]
+    assert unbatched[:4] == batched[:4]
+
+
+def test_odd_chunk_sizes_do_not_matter():
+    reference = _run("miodb", batched=False)
+    for chunk in (1, 7, 700):
+        assert _run("miodb", batched=True, chunk=chunk) == reference
+
+
+# ----------------------------------------------------------- small contracts
+
+
+def _mio():
+    store, system = make_store("miodb", SCALE)
+    return store, system
+
+
+def test_multi_put_returns_per_op_latencies():
+    store, __ = _mio()
+    items = [(b"key%03d" % i, SizedValue(i, 128)) for i in range(10)]
+    latencies = store.multi_put(items)
+    assert len(latencies) == 10
+    assert all(lat > 0 for lat in latencies)
+    singles = [store.put(b"more%03d" % i, SizedValue(i, 128)) for i in range(3)]
+    assert all(lat > 0 for lat in singles)
+
+
+def test_multi_get_matches_get():
+    store, __ = _mio()
+    store.multi_put([(b"key%03d" % i, SizedValue(i, 128)) for i in range(40)])
+    keys = [b"key%03d" % i for i in (0, 39, 17)] + [b"missing"]
+    results = store.multi_get(keys)
+    assert [v.tag for v, __lat in results[:3]] == [0, 39, 17]
+    assert results[3][0] is None
+    assert all(lat > 0 for __v, lat in results)
+
+
+def test_multi_delete_writes_tombstones():
+    store, __ = _mio()
+    store.multi_put([(b"key%03d" % i, SizedValue(i, 128)) for i in range(6)])
+    store.multi_delete([b"key000", b"key003"])
+    assert store.get(b"key000")[0] is None
+    assert store.get(b"key003")[0] is None
+    assert store.get(b"key001")[0].tag == 1
+
+
+def test_empty_batches_are_free():
+    store, system = _mio()
+    before = system.clock.now
+    assert store.multi_put([]) == []
+    assert store.multi_get([]) == []
+    assert store.multi_delete([]) == []
+    assert system.clock.now == before
+    assert system.stats.get("op.put") == 0.0
+    assert system.stats.get("op.get") == 0.0
+
+
+def test_multi_put_validates_before_applying():
+    store, system = _mio()
+    with pytest.raises(ValueError):
+        store.multi_put([(b"good", b"v"), (b"", b"v")])
+    # Validation happens before any op runs: nothing was applied.
+    assert store.get(b"good")[0] is None
+    assert system.stats.get("op.put") == 0.0
+    with pytest.raises(ValueError):
+        store.multi_delete([b"ok", b""])
+    reads_before = system.stats.get("op.get")
+    with pytest.raises(ValueError):
+        store.multi_get([b"ok", b""])
+    assert system.stats.get("op.get") == reads_before
+
+
+# -------------------------------------------------- workload-level batching
+
+
+def test_dbbench_batch_size_is_equivalent():
+    from repro.workloads.dbbench import (
+        delete_random,
+        fill_random,
+        overwrite,
+        read_random,
+        read_seq,
+    )
+
+    def drive(batch):
+        store, system = make_store("miodb", SCALE)
+        fill_random(store, 300, 256, batch_size=batch)
+        read_random(store, 120, 300, batch_size=batch)
+        read_seq(store, 80, 300, batch_size=batch)
+        overwrite(store, 90, 300, 256, batch_size=batch)
+        delete_random(store, 40, 300, batch_size=batch)
+        store.quiesce()
+        snapshot = system.stats.snapshot()
+        return list(store.items()), snapshot, system.clock.now
+
+    assert drive(None) == drive(37)
+
+
+def test_ycsb_batch_size_is_equivalent():
+    from repro.workloads.ycsb import YCSB_WORKLOADS, load_phase, run_workload
+
+    def drive(batch, wl):
+        store, system = make_store("miodb", SCALE)
+        load_phase(store, 200, 256, batch_size=batch)
+        run_workload(
+            store, YCSB_WORKLOADS[wl], 300, 200, 256,
+            batch_size=batch, check_reads=(wl != "D"),
+        )
+        store.quiesce()
+        snapshot = system.stats.snapshot()
+        return list(store.items()), snapshot, system.clock.now
+
+    for wl in ("A", "D", "E", "F"):
+        assert drive(None, wl) == drive(29, wl), wl
+
+
+def test_workload_batch_size_validation():
+    from repro.workloads.dbbench import fill_random
+    from repro.workloads.ycsb import YCSB_WORKLOADS, load_phase, run_workload
+
+    store, __ = _mio()
+    with pytest.raises(ValueError):
+        fill_random(store, 10, 128, batch_size=0)
+    with pytest.raises(ValueError):
+        load_phase(store, 10, 128, batch_size=-1)
+    with pytest.raises(ValueError):
+        run_workload(store, YCSB_WORKLOADS["A"], 10, 10, 128, batch_size=0)
