@@ -123,6 +123,9 @@ class LevelDBStore(KVStore):
         return self.system.executor.submit(
             self.flush_worker, seconds, apply, name=f"{self.name}-flush",
             meta={"cat": CAT_FLUSH, "bytes": table.data_bytes},
+            # In-flight the flush only reads the rotated (frozen)
+            # MemTable; the active one stays foreground-writable.
+            accesses=(("r", "memtable:imm"),),
         )
 
     # ------------------------------------------------------------- read path

@@ -208,6 +208,13 @@ class LeveledLSM:
         self.system.executor.submit(
             worker, seconds, apply, name=f"{self.label}-compact-L{level}",
             meta={"cat": CAT_COMPACT, "level": level, "bytes": bytes_moved},
+            # Inputs were scanned at submit; in flight the compaction
+            # reads the busy-marked tables of both levels (foreground
+            # gets may read them too -- read/read, never a conflict).
+            accesses=(
+                ("r", f"tables:{self.label}:L{level}"),
+                ("r", f"tables:{self.label}:L{level + 1}"),
+            ),
         )
 
     # ----------------------------------------------------------------- reads

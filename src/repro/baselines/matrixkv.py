@@ -221,6 +221,9 @@ class MatrixKVStore(KVStore):
         return self.system.executor.submit(
             self.flush_worker, seconds, apply, name=f"{self.name}-flush",
             meta={"cat": CAT_FLUSH, "bytes": table.data_bytes},
+            # The row was serialized from the rotated MemTable at
+            # submit; in flight only that frozen table is read.
+            accesses=(("r", "memtable:imm"),),
         )
 
     # ------------------------------------------------------- column compaction
@@ -339,6 +342,13 @@ class MatrixKVStore(KVStore):
             self.column_worker, seconds, apply, name=f"{self.name}-column",
             meta={"cat": CAT_COMPACT, "level": 0, "kind": "column",
                   "bytes": taken_bytes},
+            # Column compaction reads the taken container rows (kept
+            # readable via _inflight_column) and the overlapping L1
+            # tables; both stay foreground-read-only while in flight.
+            accesses=(
+                ("r", "container:rows"),
+                ("r", "tables:matrixkv:L1"),
+            ),
         )
 
     # ------------------------------------------------------------- read path

@@ -169,6 +169,11 @@ class NoveLSMStore(KVStore):
         return self.system.executor.submit(
             self.dram_flush_worker, seconds, apply, name=f"{self.name}-dram-flush",
             meta={"cat": CAT_FLUSH, "bytes": table.data_bytes},
+            # The NVM-side inserts happen synchronously at submit
+            # (foreground-ordered); in flight only the frozen DRAM
+            # MemTable is read.  Concurrent NVM-direct puts land in the
+            # *active* NVM MemTable, a disjoint region by design.
+            accesses=(("r", "memtable:imm"),),
         )
 
     def _rotate_nvm(self) -> None:
@@ -207,6 +212,8 @@ class NoveLSMStore(KVStore):
             tail = self.system.executor.submit(
                 self.nvm_flush_worker, seconds, apply, name=f"{self.name}-nvm-flush",
                 meta={"cat": CAT_FLUSH, "bytes": chunk_bytes},
+                # Each chunk job reads the immutable NVM MemTable only.
+                accesses=(("r", "memtable:nvm-imm"),),
             )
         self.system.stats.add("flush.count", 1)
         self.system.stats.add("flush.bytes", table.data_bytes)

@@ -129,6 +129,9 @@ class SLMDBStore(KVStore):
         return self.system.executor.submit(
             self.worker, seconds, apply, name=f"{self.name}-flush",
             meta={"cat": CAT_FLUSH, "bytes": table.data_bytes},
+            # Only the rotated MemTable is read while in flight; the
+            # B+-tree index was already updated synchronously at submit.
+            accesses=(("r", "memtable:imm"),),
         )
 
     def _grow_index_arena(self, nodes_before: int) -> None:
@@ -230,6 +233,9 @@ class SLMDBStore(KVStore):
             self.worker, seconds, apply, name=f"{self.name}-compact",
             meta={"cat": CAT_COMPACT, "level": 1,
                   "bytes": sum(t.data_bytes for t in candidates)},
+            # The selected candidate tables stay readable while the
+            # merged replacement is built off to the side.
+            accesses=(("r", "tables:slmdb:L1"),),
         )
 
     # ------------------------------------------------------------- read path

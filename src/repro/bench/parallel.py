@@ -13,6 +13,8 @@ Entry points::
     python benchmarks/run_all.py --jobs 8
 """
 
+# repro: allow-file[DET001] -- wall-clock timing of subprocess fan-out
+# is this module's purpose; nothing simulated runs in this process.
 import argparse
 import os
 import pathlib

@@ -1,0 +1,74 @@
+"""Baseline workflow: explicit suppression of pre-existing findings.
+
+A baseline file records one finding *fingerprint* per line (rule ID,
+repo-relative path, and a short hash of the flagged source line -- see
+:attr:`repro.check.report.Finding.fingerprint`).  ``repro check``
+subtracts baselined fingerprints from the live findings, so legacy debt
+is visible and versioned instead of silently ignored, and any *new*
+finding still fails ``--strict``.
+
+The checked-in baseline lives at ``<repo>/.repro-check-baseline``.  It
+ships empty: the repo lints clean, and the intent is that it stays that
+way -- prefer a ``# repro: allow[...]`` pragma with a justification over
+growing the baseline.  ``repro check --update-baseline`` rewrites the
+file from the current findings when debt is deliberately accepted.
+"""
+
+import pathlib
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.check.lint import repo_root
+from repro.check.report import Finding
+
+#: Conventional baseline filename at the repository root.
+BASELINE_NAME = ".repro-check-baseline"
+
+_HEADER = """\
+# repro check baseline -- explicitly suppressed findings.
+#
+# One fingerprint per line: "<rule> <path> <line-hash>".  Regenerate
+# with `repro check --update-baseline`; see docs/static_analysis.md.
+"""
+
+
+def default_baseline_path() -> pathlib.Path:
+    return repo_root() / BASELINE_NAME
+
+
+def load_baseline(path: Optional[pathlib.Path] = None) -> Set[str]:
+    """Fingerprints recorded in the baseline file (empty when absent)."""
+    target = default_baseline_path() if path is None else pathlib.Path(path)
+    if not target.exists():
+        return set()
+    entries: Set[str] = set()
+    for line in target.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def save_baseline(
+    findings: Iterable[Finding], path: Optional[pathlib.Path] = None
+) -> pathlib.Path:
+    """Write the baseline file covering ``findings``; returns its path."""
+    target = default_baseline_path() if path is None else pathlib.Path(path)
+    body = "".join(
+        fp + "\n" for fp in sorted({f.fingerprint for f in findings})
+    )
+    target.write_text(_HEADER + body)
+    return target
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, suppressed-count) against a baseline."""
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if finding.fingerprint in baseline:
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

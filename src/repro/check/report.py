@@ -1,0 +1,87 @@
+"""Findings: the common currency of every ``repro.check`` engine.
+
+A :class:`Finding` is one diagnostic -- a lint hit, a contract
+violation, or a race -- with a rule ID, a severity, and a location.
+Findings render deterministically (sorted by path, line, rule) so check
+output is byte-stable across runs, and each carries a *fingerprint*
+(rule + path + a hash of the flagged source line, independent of line
+numbers) used by the baseline workflow (see ``repro.check.baseline``).
+"""
+
+import hashlib
+from typing import List, Optional
+
+#: Finding that must be fixed (or explicitly suppressed) before merging.
+SEV_ERROR = "error"
+#: Finding worth a look; ``repro check --strict`` still fails on it.
+SEV_WARNING = "warning"
+
+SEVERITIES = (SEV_ERROR, SEV_WARNING)
+
+
+class Finding:
+    """One diagnostic emitted by a check engine."""
+
+    __slots__ = ("rule", "severity", "path", "line", "message", "snippet")
+
+    def __init__(
+        self,
+        rule: str,
+        severity: str,
+        path: str,
+        line: int,
+        message: str,
+        snippet: str = "",
+    ) -> None:
+        if severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+            )
+        self.rule = rule
+        self.severity = severity
+        self.path = path
+        self.line = line
+        self.message = message
+        self.snippet = snippet
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for the baseline file.
+
+        Hashes the stripped source line rather than the line number, so
+        unrelated edits above a baselined finding do not invalidate it.
+        """
+        digest = hashlib.sha256(self.snippet.strip().encode()).hexdigest()[:12]
+        return f"{self.rule} {self.path} {digest}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.severity}: "
+            f"[{self.rule}] {self.message}"
+        )
+
+    def __repr__(self) -> str:
+        return f"Finding({self.render()!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Finding):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot)
+            for slot in self.__slots__
+        )
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Deterministic report order: by path, then line, then rule ID."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def render_findings(findings: List[Finding], title: Optional[str] = None) -> str:
+    """A plain-text report, one finding per line, stable across runs."""
+    lines = []
+    if title is not None:
+        lines.append(title)
+    for finding in sort_findings(findings):
+        lines.append(finding.render())
+    return "\n".join(lines)

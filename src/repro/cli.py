@@ -11,6 +11,7 @@ Run workloads against any store in the library from a shell::
     python -m repro info
     python -m repro perf --label after-change
     python -m repro bench --jobs 8
+    python -m repro check --strict --races
 
 Every run is deterministic (simulated time); throughput and latency
 numbers are directly comparable across stores and invocations, and
@@ -436,6 +437,59 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Static analysis: determinism lint, API contracts, race smoke."""
+    import pathlib as _pathlib
+
+    from repro.check import (
+        apply_baseline,
+        check_contracts,
+        default_baseline_path,
+        load_baseline,
+        race_smoke,
+        render_findings,
+        run_lint,
+        save_baseline,
+    )
+
+    failed = False
+    findings = []
+    if not args.skip_lint:
+        root = _pathlib.Path(args.path) if args.path else None
+        findings.extend(run_lint(root))
+    if not args.skip_contracts:
+        findings.extend(check_contracts())
+    baseline_path = (
+        _pathlib.Path(args.baseline) if args.baseline
+        else default_baseline_path()
+    )
+    if args.update_baseline:
+        target = save_baseline(findings, baseline_path)
+        print(f"# baseline: {target} ({len(findings)} fingerprints)",
+              file=sys.stderr)
+        return 0
+    fresh, suppressed = apply_baseline(findings, load_baseline(baseline_path))
+    if fresh:
+        print(render_findings(fresh))
+        failed = failed or args.strict or any(
+            f.severity == "error" for f in fresh
+        )
+    summary = f"check: {len(fresh)} finding(s)"
+    if suppressed:
+        summary += f", {suppressed} baselined"
+    print(summary)
+    if args.races:
+        results = race_smoke(store_names=args.store, n=args.races_n)
+        total = sum(len(races) for races in results.values())
+        for name, races in sorted(results.items()):
+            status = "clean" if not races else f"{len(races)} race(s)"
+            print(f"races [{name}]: {status}")
+            for race in races:
+                print(f"  {race.render()}")
+        failed = failed or total > 0
+    return 1 if failed else 0
+
+
 def cmd_info(args) -> int:
     from repro.cluster import PLACEMENT_POLICIES
 
@@ -643,6 +697,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--analyze-json", default=None, metavar="FILE",
                    help="also write the cluster analysis document (JSON)")
     p.set_defaults(func=cmd_cluster, value_size=256)
+
+    p = sub.add_parser(
+        "check",
+        help="determinism lint, API contracts, and the race-detector smoke",
+    )
+    p.add_argument("--strict", action="store_true",
+                   help="fail on any non-baselined finding (CI gate)")
+    p.add_argument("--races", action="store_true",
+                   help="also run the simulated-race smoke workload")
+    p.add_argument("--races-n", type=int, default=256, metavar="N",
+                   help="records in the race smoke fill (default %(default)s)")
+    p.add_argument("--store", type=_stores_arg, default=None,
+                   help="stores for the race smoke (default: all)")
+    p.add_argument("--skip-lint", action="store_true")
+    p.add_argument("--skip-contracts", action="store_true")
+    p.add_argument("--path", default=None, metavar="DIR",
+                   help="lint this directory instead of src/repro")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline file (default: <repo>/.repro-check-baseline)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from the current findings")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("info", help="stores, device profiles, scaling")
     p.set_defaults(func=cmd_info)

@@ -28,16 +28,20 @@ import math
 from typing import Dict, List, Optional
 
 from repro.kvstore.values import SizedValue
-from repro.obs.events import CAT_QUEUE
+
+# The closed load-shedding vocabulary lives in ``repro.obs.events``
+# (next to the stall causes, so strict tracing can validate both);
+# re-exported here because the cluster layer is its main producer.
+from repro.obs.events import (  # noqa: F401  (re-exports)
+    CAT_QUEUE,
+    DROP_CAUSES,
+    DROP_QUEUE_FULL,
+    DROP_RETRY_EXHAUSTED,
+)
 from repro.sim.latency import LatencyRecorder, LatencySummary
 from repro.sim.rng import XorShiftRng
 from repro.workloads.keys import key_for
 from repro.workloads.zipfian import UniformGenerator, ZipfianGenerator
-
-#: Closed vocabulary of load-shedding causes.
-DROP_QUEUE_FULL = "queue_full"          # rejected: shard queue at capacity
-DROP_RETRY_EXHAUSTED = "retry_exhausted"  # deferred max_retries times, still full
-DROP_CAUSES = (DROP_QUEUE_FULL, DROP_RETRY_EXHAUSTED)
 
 ADMISSION_POLICIES = ("reject", "defer")
 

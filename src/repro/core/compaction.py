@@ -95,6 +95,10 @@ class CompactionManager:
                 "kind": "zero-copy",
                 "bytes": older.data_bytes + newer.data_bytes,
             },
+            # The merge ran eagerly at submit (crash-consistent
+            # insertion marks); in flight the busy-marked input tables
+            # are only read by foreground gets.
+            accesses=(("r", f"pmtable:L{level}"),),
         )
 
     def _run_pointer_merge(self, newer: PMTable, older: PMTable) -> float:
@@ -153,6 +157,9 @@ class CompactionManager:
                 "kind": "lazy-copy",
                 "bytes": table.data_bytes,
             },
+            # Lazy copy reads the source PMTable; the compacted copy is
+            # staged privately until the callback installs it.
+            accesses=(("r", f"pmtable:L{level}"),),
         )
 
     def force_progress(self) -> bool:

@@ -200,11 +200,17 @@ class MioDB(KVStore):
             self.flush_worker, copy_seconds, copy_done,
             name="miodb-one-piece-flush",
             meta={"cat": CAT_FLUSH, "bytes": table.data_bytes, "entries": entries},
+            # One-piece flush reads the rotated immutable MemTable.
+            accesses=(("r", "memtable:imm"),),
         )
         return self.system.executor.submit(
             self.flush_worker, swizzle_seconds, swizzle_done,
             name="miodb-swizzle",
             meta={"cat": CAT_FLUSH, "phase": "swizzle", "pointers": pointers},
+            # Swizzling rewrites the PMTable's not-yet-published
+            # pointers; readers only follow already-swizzled (8-byte
+            # atomic) words, so the unswizzled region is job-private.
+            accesses=(("w", "pmtable:unswizzled"),),
         )
 
     def _make_bloom(self, entry_count: int) -> BloomFilter:

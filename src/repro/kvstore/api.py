@@ -6,6 +6,22 @@ from typing import List, Optional, Tuple
 from repro.kvstore.values import value_nbytes
 from repro.skiplist.node import TOMBSTONE
 
+#: Per-op equivalence oracles for the batched entry points: each
+#: ``multi_*`` method must be byte-identical (clock, stats, latency
+#: samples, per-op trace events) to calling the mapped method once per
+#: element.  ``repro.check.contracts`` verifies every ``multi_*`` an
+#: engine exposes is registered here; ``tests/test_multi_ops.py`` checks
+#: the behavioral equivalence itself.
+BATCH_EQUIVALENCE = {
+    "multi_put": "put",
+    "multi_delete": "delete",
+    "multi_get": "get",
+}
+
+#: Coarse shared-state region the race detector tracks for every
+#: foreground op: the mutable MemTable (see repro.check.races).
+_MEMTABLE_REGION = ("memtable:active",)
+
 
 class KVStore(ABC):
     """Base class wiring operations to the simulated machine.
@@ -35,6 +51,8 @@ class KVStore(ABC):
         self._require_key(key)
         nbytes = value_nbytes(value)
         self.system.executor.settle()
+        if self.system.race is not None:
+            self.system.race.op("put", writes=_MEMTABLE_REGION)
         start = self.system.clock.now
         self.seq += 1
         seconds = self._put(key, self.seq, value, nbytes)
@@ -46,6 +64,8 @@ class KVStore(ABC):
         """Delete ``key`` by writing a tombstone; returns the latency."""
         self._require_key(key)
         self.system.executor.settle()
+        if self.system.race is not None:
+            self.system.race.op("delete", writes=_MEMTABLE_REGION)
         start = self.system.clock.now
         self.seq += 1
         seconds = self._put(key, self.seq, TOMBSTONE, 0)
@@ -57,6 +77,8 @@ class KVStore(ABC):
         """Look up ``key``; returns ``(value_or_None, latency)``."""
         self._require_key(key)
         self.system.executor.settle()
+        if self.system.race is not None:
+            self.system.race.op("get", reads=_MEMTABLE_REGION)
         start = self.system.clock.now
         value, seconds = self._get(key)
         self.system.stats.add("op.get", 1)
@@ -113,6 +135,7 @@ class KVStore(ABC):
         settle = executor.settle
         record = system.latency.record
         obs = system.obs
+        race = system.race
         coalesce = obs is not None and obs.coalesce_ops
         fallback = self._get
         lookup = self._batch_lookup() or fallback
@@ -123,6 +146,8 @@ class KVStore(ABC):
             if heap and heap[0][0] <= clock._now:
                 if settle():
                     lookup = self._batch_lookup() or fallback
+            if race is not None:
+                race.op("get", reads=_MEMTABLE_REGION)
             start = clock._now
             value, seconds = lookup(key)
             clock.advance(seconds)
@@ -147,6 +172,8 @@ class KVStore(ABC):
         if count < 0:
             raise ValueError(f"scan count must be >= 0, got {count}")
         self.system.executor.settle()
+        if self.system.race is not None:
+            self.system.race.op("scan", reads=_MEMTABLE_REGION)
         start = self.system.clock.now
         pairs, seconds = self._scan(start_key, count)
         self.system.stats.add("op.scan", 1)
@@ -239,6 +266,7 @@ class KVStore(ABC):
         record = system.latency.record
         put_ = self._put
         obs = system.obs
+        race = system.race
         coalesce = obs is not None and obs.coalesce_ops
         latencies: List[float] = []
         starts: List[float] = []
@@ -247,6 +275,8 @@ class KVStore(ABC):
         for key, value, value_bytes, key_len in ops:
             if heap and heap[0][0] <= clock._now:
                 settle()
+            if race is not None:
+                race.op(kind, writes=_MEMTABLE_REGION)
             start = clock._now
             self.seq += 1
             seconds = put_(key, self.seq, value, value_bytes)

@@ -58,6 +58,10 @@ class HybridMemorySystem:
         self.latency = LatencyRecorder()
         #: The attached TraceRecorder, or None (tracing off -- the default).
         self.obs = None
+        #: The attached RaceDetector, or None (race checking off -- the
+        #: default).  Like ``obs``, every instrumentation site guards on
+        #: this, so the disabled cost is one attribute load per op.
+        self.race = None
 
     @classmethod
     def with_ssd(cls, **kwargs) -> "HybridMemorySystem":
@@ -84,23 +88,47 @@ class HybridMemorySystem:
             devices.append(self.ssd)
         return devices
 
-    def attach_tracing(self, coalesce_ops: bool = False):
+    def attach_tracing(self, coalesce_ops: bool = False, strict: bool = False):
         """Attach a fresh :class:`~repro.obs.recorder.TraceRecorder`.
 
         Returns the recorder; every store on this system starts emitting
         op/stall/flush/compact/transfer events until
         :meth:`detach_tracing` (or ``recorder.detach()``) is called.
         With ``coalesce_ops`` the ``multi_*`` entry points emit one
-        coalesced op span per batch instead of one span per op.
+        coalesced op span per batch instead of one span per op.  With
+        ``strict`` recording an event with an unknown category, stall
+        cause, or drop reason raises instead of widening the closed
+        vocabularies (the event stream itself is unchanged).
         """
         from repro.obs.recorder import TraceRecorder
 
-        return TraceRecorder(self.clock, coalesce_ops=coalesce_ops).attach(self)
+        recorder = TraceRecorder(
+            self.clock, coalesce_ops=coalesce_ops, strict=strict
+        )
+        return recorder.attach(self)
 
     def detach_tracing(self) -> None:
         """Detach the current recorder, if any (idempotent)."""
         if self.obs is not None:
             self.obs.detach()
+
+    def attach_race_detection(self):
+        """Attach a fresh :class:`~repro.check.races.RaceDetector`.
+
+        Returns the detector; foreground ops and background jobs on this
+        system start recording happens-before metadata until
+        :meth:`detach_race_detection` (or ``detector.detach()``) is
+        called.  Opt-in diagnostics only: nothing about the simulation
+        (clock, stats, traces) changes while a detector is attached.
+        """
+        from repro.check.races import RaceDetector
+
+        return RaceDetector().attach(self)
+
+    def detach_race_detection(self) -> None:
+        """Detach the current race detector, if any (idempotent)."""
+        if self.race is not None:
+            self.race.detach()
 
     def job_scope(self):
         """Context manager marking device traffic as background-job cost.

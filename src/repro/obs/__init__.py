@@ -42,6 +42,9 @@ from repro.obs.events import (
     CAT_STALL,
     CAT_TRANSFER,
     CATEGORIES,
+    DROP_CAUSES,
+    DROP_QUEUE_FULL,
+    DROP_RETRY_EXHAUSTED,
     STALL_BUFFER_CAP,
     STALL_CAUSES,
     STALL_L0_SLOWDOWN,
@@ -77,6 +80,9 @@ __all__ = [
     "CAT_JOB",
     "CAT_TRANSFER",
     "CAT_QUEUE",
+    "DROP_CAUSES",
+    "DROP_QUEUE_FULL",
+    "DROP_RETRY_EXHAUSTED",
     "STALL_CAUSES",
     "STALL_MEMTABLE_FULL",
     "STALL_L0_SLOWDOWN",

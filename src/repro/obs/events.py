@@ -66,6 +66,20 @@ STALL_CAUSES = frozenset(
     {STALL_MEMTABLE_FULL, STALL_L0_SLOWDOWN, STALL_L0_STOP, STALL_BUFFER_CAP}
 )
 
+# -------------------------------------------------------------- drop causes
+#
+# The closed load-shedding vocabulary.  Defined here (rather than in
+# ``repro.cluster.driver``, which re-exports them) so the recorder's
+# strict mode and ``repro.check`` can validate drop reasons without an
+# obs -> cluster import cycle.
+
+#: Rejected outright: the shard's admission queue was at capacity.
+DROP_QUEUE_FULL = "queue_full"
+#: Deferred ``max_retries`` times and the queue was still full.
+DROP_RETRY_EXHAUSTED = "retry_exhausted"
+
+DROP_CAUSES = (DROP_QUEUE_FULL, DROP_RETRY_EXHAUSTED)
+
 # -------------------------------------------------------------- the event
 
 

@@ -26,6 +26,9 @@ from repro.obs.events import (
     CAT_QUEUE,
     CAT_STALL,
     CAT_TRANSFER,
+    CATEGORIES,
+    DROP_CAUSES,
+    STALL_CAUSES,
     TraceEvent,
 )
 
@@ -50,10 +53,17 @@ class _JobCostScope:
 class TraceRecorder:
     """Collects typed spans and instants from one simulated machine."""
 
-    def __init__(self, clock, coalesce_ops: bool = False) -> None:
+    def __init__(
+        self, clock, coalesce_ops: bool = False, strict: bool = False
+    ) -> None:
         self.clock = clock
         self.events: List[TraceEvent] = []
         self._system = None
+        # Strict mode: recording an event with an unknown category, an
+        # unknown stall cause, or an unknown drop reason raises instead
+        # of silently widening the closed vocabularies.  Validation only
+        # -- the recorded event stream is byte-identical either way.
+        self.strict = strict
         # When set, the batched KVStore paths (multi_get/multi_put/
         # multi_delete) emit one coalesced op span per batch (see
         # :meth:`op_batch`) instead of one span per op.  Off by default:
@@ -98,6 +108,29 @@ class TraceRecorder:
 
     # ------------------------------------------------------------ emission
 
+    def _check_vocab(self, name: str, cat: str, args: Optional[dict]) -> None:
+        """Strict-mode guard: reject events outside the closed vocabularies."""
+        if cat not in CATEGORIES:
+            raise ValueError(
+                f"unknown trace category {cat!r}; expected one of {CATEGORIES}"
+            )
+        if args is None:
+            return
+        if cat == CAT_STALL:
+            cause = args.get("cause")
+            if cause not in STALL_CAUSES:
+                raise ValueError(
+                    f"unknown stall cause {cause!r}; the closed vocabulary is "
+                    f"{sorted(STALL_CAUSES)} (repro.obs.events.STALL_CAUSES)"
+                )
+        elif cat == CAT_QUEUE and name == "drop":
+            cause = args.get("cause")
+            if cause not in DROP_CAUSES:
+                raise ValueError(
+                    f"unknown drop reason {cause!r}; the closed vocabulary is "
+                    f"{list(DROP_CAUSES)} (repro.obs.events.DROP_CAUSES)"
+                )
+
     def span(
         self,
         track: str,
@@ -108,6 +141,8 @@ class TraceRecorder:
         args: Optional[dict] = None,
     ) -> None:
         """Record a closed interval of activity on ``track``."""
+        if self.strict:
+            self._check_vocab(name, cat, args)
         self.events.append(TraceEvent(track, name, cat, start, end - start, args))
 
     def op_batch(
@@ -155,6 +190,8 @@ class TraceRecorder:
         ts: Optional[float] = None,
     ) -> None:
         """Record a point event (defaults to the current simulated time)."""
+        if self.strict:
+            self._check_vocab(name, cat, args)
         when = self.clock.now if ts is None else ts
         self.events.append(TraceEvent(track, name, cat, when, None, args))
 
@@ -210,6 +247,10 @@ class TraceRecorder:
         else:
             cat = meta.get("cat", CAT_JOB)
             args = {k: v for k, v in meta.items() if k != "cat"}
+        if self.strict and cat not in CATEGORIES:
+            raise ValueError(
+                f"unknown trace category {cat!r} in job meta for {job.name!r}"
+            )
         args["wait_s"] = job.start - job.submitted_at
         self.events.append(
             TraceEvent(

@@ -75,7 +75,10 @@ def run_traced(
         if store_name == "miodb":
             overrides["max_nvm_buffer_bytes"] = 256 * KB
     store, system = make_store(store_name, scale, ssd=ssd, **overrides)
-    recorder = system.attach_tracing()
+    # Strict: an event outside the closed vocabularies raises here
+    # rather than silently widening the pinned schema.  Validation
+    # only -- the recorded stream (and its pinned hash) is unchanged.
+    recorder = system.attach_tracing(strict=True)
     try:
         if ycsb_name is not None:
             load_phase(store, n, value_size, seed=seed)

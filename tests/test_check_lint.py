@@ -1,0 +1,245 @@
+"""Determinism lint: per-rule fixtures, pragmas, and the baseline flow.
+
+Every rule gets a positive fixture (the escape is flagged, with the
+right ID and severity) and a negative one (the idiomatic repo pattern
+passes).  The last test asserts the live tree lints clean -- the
+property the CI ``check`` job gates on.
+"""
+
+import pytest
+
+from repro.check.baseline import apply_baseline, load_baseline, save_baseline
+from repro.check.lint import RULES, lint_text, run_lint
+from repro.check.report import SEV_ERROR, SEV_WARNING
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def test_rule_registry_is_consistent():
+    assert set(RULES) == {
+        "DET001", "DET002", "DET003", "ORD001", "VOC001", "STAT001"
+    }
+    for rule_id, rule in RULES.items():
+        assert rule.id == rule_id
+        assert rule.severity in (SEV_ERROR, SEV_WARNING)
+        assert rule.summary
+
+
+# ------------------------------------------------------------------ DET001
+
+
+def test_det001_flags_wall_clock_call():
+    findings = lint_text("import time\nt = time.perf_counter()\n")
+    assert _rules(findings) == ["DET001"]
+    assert findings[0].severity == SEV_ERROR
+    assert findings[0].line == 2
+
+
+def test_det001_flags_datetime_now():
+    src = "import datetime\nstamp = datetime.datetime.now()\n"
+    assert _rules(lint_text(src)) == ["DET001"]
+
+
+def test_det001_flags_from_import_alias():
+    src = "from time import perf_counter as tick\nt = tick()\n"
+    assert _rules(lint_text(src)) == ["DET001"]
+
+
+def test_det001_passes_simulated_clock():
+    src = "def f(system):\n    return system.clock.now\n"
+    assert lint_text(src) == []
+
+
+# ------------------------------------------------------------------ DET002
+
+
+def test_det002_flags_time_sleep():
+    findings = lint_text("import time\ntime.sleep(0.5)\n")
+    assert _rules(findings) == ["DET002"]
+
+
+def test_det002_passes_executor_wait():
+    src = "def f(system, job):\n    return system.executor.wait_for(job)\n"
+    assert lint_text(src) == []
+
+
+# ------------------------------------------------------------------ DET003
+
+
+def test_det003_flags_random_import():
+    assert _rules(lint_text("import random\n")) == ["DET003"]
+    assert _rules(lint_text("from random import shuffle\n")) == ["DET003"]
+
+
+def test_det003_flags_entropy_calls():
+    assert _rules(lint_text("import os\nos.urandom(8)\n")) == ["DET003"]
+    assert _rules(lint_text("import uuid\nuuid.uuid4()\n")) == ["DET003"]
+    assert _rules(lint_text("import secrets\n")) == ["DET003"]
+
+
+def test_det003_exempts_the_rng_seam():
+    src = "import random\n"
+    assert lint_text(src, "src/repro/sim/rng.py") == []
+    assert _rules(lint_text(src, "src/repro/workloads/keys.py")) == ["DET003"]
+
+
+def test_det003_passes_xorshift():
+    src = "from repro.sim.rng import XorShiftRng\nrng = XorShiftRng(1)\n"
+    assert lint_text(src) == []
+
+
+# ------------------------------------------------------------------ ORD001
+
+
+def test_ord001_flags_set_iteration():
+    findings = lint_text("for x in {1, 2, 3}:\n    pass\n")
+    assert _rules(findings) == ["ORD001"]
+    assert findings[0].severity == SEV_WARNING
+
+
+def test_ord001_flags_set_through_wrappers_and_comprehensions():
+    assert _rules(lint_text("xs = list({1, 2})\n")) == ["ORD001"]
+    assert _rules(lint_text("s = ','.join({'a', 'b'})\n")) == ["ORD001"]
+    assert _rules(lint_text("ys = [x for x in {1, 2}]\n")) == ["ORD001"]
+
+
+def test_ord001_passes_sorted_sets_and_dicts():
+    assert lint_text("for x in sorted({1, 2}):\n    pass\n") == []
+    assert lint_text("for k in {'a': 1}:\n    pass\n") == []
+
+
+# ------------------------------------------------------------------ VOC001
+
+
+def test_voc001_flags_unknown_stall_cause():
+    src = "def f(self, s):\n    return self._stall_wait('made-up', s)\n"
+    findings = lint_text(src)
+    assert _rules(findings) == ["VOC001"]
+    assert "made-up" in findings[0].message
+
+
+def test_voc001_flags_unknown_cause_in_dict_literal():
+    src = "args = {'cause': 'novel-reason'}\n"
+    assert _rules(lint_text(src)) == ["VOC001"]
+
+
+def test_voc001_passes_closed_vocabulary():
+    src = (
+        "def f(self, s):\n"
+        "    self._stall_wait('memtable-full', s)\n"
+        "    self._stall_delay('l0-slowdown', s)\n"
+        "    return {'cause': 'queue_full'}\n"
+    )
+    assert lint_text(src) == []
+
+
+# ----------------------------------------------------------------- STAT001
+
+
+def test_stat001_flags_unregistered_family():
+    src = "def f(system):\n    system.stats.add('novel.bytes', 1)\n"
+    findings = lint_text(src)
+    assert _rules(findings) == ["STAT001"]
+    assert "novel" in findings[0].message
+
+
+def test_stat001_flags_missing_family_prefix():
+    src = "def f(system):\n    system.stats.add('bytes', 1)\n"
+    assert _rules(lint_text(src)) == ["STAT001"]
+
+
+def test_stat001_checks_fstring_head():
+    bad = "def f(system, n):\n    system.stats.add(f'novel.L{n}', 1)\n"
+    good = "def f(system, n):\n    system.stats.add(f'compact.L{n}', 1)\n"
+    assert _rules(lint_text(bad)) == ["STAT001"]
+    assert lint_text(good) == []
+
+
+def test_stat001_passes_registered_family_and_dynamic_keys():
+    src = (
+        "def f(system, key):\n"
+        "    system.stats.add('flush.bytes', 1)\n"
+        "    system.stats.add(key, 1)\n"  # fully dynamic: not checkable
+    )
+    assert lint_text(src) == []
+
+
+# ----------------------------------------------------------------- pragmas
+
+
+def test_pragma_suppresses_on_the_flagged_line():
+    src = "import time\nt = time.time()  # repro: allow[DET001] -- test\n"
+    assert lint_text(src) == []
+
+
+def test_pragma_on_the_line_above():
+    src = (
+        "import time\n"
+        "# repro: allow[DET001] -- test\n"
+        "t = time.time()\n"
+    )
+    assert lint_text(src) == []
+
+
+def test_pragma_for_the_wrong_rule_does_not_suppress():
+    src = "import time\nt = time.time()  # repro: allow[DET002] -- wrong\n"
+    assert _rules(lint_text(src)) == ["DET001"]
+
+
+def test_file_pragma_suppresses_everywhere():
+    src = (
+        "# repro: allow-file[DET001] -- timing module\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.monotonic()\n"
+    )
+    assert lint_text(src) == []
+
+
+def test_pragmas_can_be_ignored():
+    src = "import time\nt = time.time()  # repro: allow[DET001] -- test\n"
+    findings = lint_text(src, respect_pragmas=False)
+    assert _rules(findings) == ["DET001"]
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = lint_text("import time\nt = time.time()\n", "src/x.py")
+    assert findings
+    path = save_baseline(findings, tmp_path / "baseline")
+    loaded = load_baseline(path)
+    assert loaded == {f.fingerprint for f in findings}
+    fresh, suppressed = apply_baseline(findings, loaded)
+    assert fresh == []
+    assert suppressed == len(findings)
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent") == set()
+
+
+def test_fingerprint_ignores_indentation():
+    a = lint_text("import time\nt = time.time()\n", "src/x.py")[0]
+    b = lint_text("import time\nif True:\n    t = time.time()\n", "src/x.py")[0]
+    assert a.fingerprint == b.fingerprint
+
+
+def test_new_finding_survives_stale_baseline(tmp_path):
+    old = lint_text("import time\nt = time.time()\n", "src/x.py")
+    path = save_baseline(old, tmp_path / "baseline")
+    new = lint_text("import time\nt = time.monotonic()\n", "src/x.py")
+    fresh, suppressed = apply_baseline(new, load_baseline(path))
+    assert _rules(fresh) == ["DET001"]
+    assert suppressed == 0
+
+
+# ---------------------------------------------------------------- the tree
+
+
+def test_repo_lints_clean():
+    """The live src/repro tree has no unsuppressed findings."""
+    assert run_lint() == []

@@ -163,3 +163,48 @@ def test_cluster_analyze_flag(tmp_path, capsys):
     doc = json.loads(path.read_text())
     assert doc["n_shards"] == 2
     assert doc["conservation"]["exact"]
+
+
+def test_check_strict_is_clean(capsys):
+    assert main(["check", "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "check: 0 finding(s)" in out
+
+
+def test_check_races_one_store(capsys):
+    rc = main(
+        ["check", "--skip-lint", "--skip-contracts", "--races",
+         "--store", "leveldb", "--races-n", "128"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "races [leveldb]: clean" in out
+
+
+def test_check_fails_on_fresh_findings(tmp_path, capsys):
+    bad = tmp_path / "pkg"
+    bad.mkdir()
+    (bad / "mod.py").write_text("import time\nt = time.time()\n")
+    rc = main(
+        ["check", "--strict", "--skip-contracts", "--path", str(bad),
+         "--baseline", str(tmp_path / "baseline")]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "[DET001]" in out
+
+
+def test_check_update_baseline_then_clean(tmp_path, capsys):
+    bad = tmp_path / "pkg"
+    bad.mkdir()
+    (bad / "mod.py").write_text("import time\nt = time.time()\n")
+    baseline = tmp_path / "baseline"
+    argv = [
+        "check", "--strict", "--skip-contracts", "--path", str(bad),
+        "--baseline", str(baseline),
+    ]
+    assert main(argv + ["--update-baseline"]) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out

@@ -327,3 +327,80 @@ def test_trace_cli_is_byte_identical_across_runs(tmp_path):
     a, b = first.read_bytes(), second.read_bytes()
     assert a == b
     assert json.loads(a)["traceEvents"]
+
+
+# ---------------------------------------------------------------------------
+# Schema fingerprint and strict-mode vocabulary enforcement
+# ---------------------------------------------------------------------------
+
+
+def test_schema_fingerprint_is_pinned():
+    """The contract checker's schema pin tracks this file's vocabulary.
+
+    tests/test_check_contracts.py owns the drift cases; this cross-check
+    keeps the two pins (trace *content* here, trace *schema* there) from
+    diverging silently.
+    """
+    from repro.check.contracts import PINNED_EVENT_SCHEMA, schema_fingerprint
+
+    assert schema_fingerprint() == PINNED_EVENT_SCHEMA
+
+
+def _strict_recorder():
+    from repro.obs import TraceRecorder
+    from repro.sim.clock import SimClock
+
+    return TraceRecorder(SimClock(), strict=True)
+
+
+def test_strict_recorder_rejects_unknown_category():
+    recorder = _strict_recorder()
+    with pytest.raises(ValueError, match="unknown trace category"):
+        recorder.span("foreground", "op", "bogus-cat", 0.0, 1.0)
+
+
+def test_strict_recorder_rejects_unknown_stall_cause():
+    recorder = _strict_recorder()
+    with pytest.raises(ValueError, match="unknown stall cause"):
+        recorder.span(
+            "foreground", "stall", CAT_STALL, 0.0, 1.0,
+            {"cause": "novel-cause"},
+        )
+    with pytest.raises(ValueError, match="unknown stall cause"):
+        recorder.instant(
+            "foreground", "stall", CAT_STALL, {"cause": "novel-cause"}
+        )
+
+
+def test_strict_recorder_rejects_unknown_drop_reason():
+    from repro.obs import CAT_QUEUE
+
+    recorder = _strict_recorder()
+    with pytest.raises(ValueError, match="unknown drop reason"):
+        recorder.instant(
+            "shard0", "drop", CAT_QUEUE, {"cause": "cosmic-rays"}
+        )
+
+
+def test_strict_recorder_accepts_the_closed_vocabularies():
+    from repro.obs import CAT_QUEUE, DROP_CAUSES
+
+    recorder = _strict_recorder()
+    for cause in sorted(STALL_CAUSES):
+        recorder.span(
+            "foreground", "stall", CAT_STALL, 0.0, 1.0, {"cause": cause}
+        )
+    for cause in DROP_CAUSES:
+        recorder.instant("shard0", "drop", CAT_QUEUE, {"cause": cause})
+    assert len(recorder) == len(STALL_CAUSES) + len(DROP_CAUSES)
+
+
+def test_lenient_recorder_still_accepts_anything():
+    """Default mode is unchanged: validation is strictly opt-in."""
+    from repro.obs import TraceRecorder
+    from repro.sim.clock import SimClock
+
+    recorder = TraceRecorder(SimClock())
+    recorder.span("foreground", "stall", CAT_STALL, 0.0, 1.0,
+                  {"cause": "novel-cause"})
+    assert len(recorder) == 1
