@@ -94,6 +94,56 @@ def _batch_arg(args):
     return args.batch_size if args.batch_size > 0 else None
 
 
+def _live_overrides(args) -> dict:
+    """LiveConfig keyword overrides from the shared ``--live-*`` flags."""
+    overrides = {"seed": args.seed}
+    if args.live_window_us > 0:
+        overrides["window_s"] = args.live_window_us * 1e-6
+    if args.head_rate > 0:
+        overrides["head_rate"] = args.head_rate
+    if args.slo_threshold_us > 0:
+        overrides["slo_threshold_s"] = args.slo_threshold_us * 1e-6
+    if args.stall_alert_us > 0:
+        overrides["stall_alert_s"] = args.stall_alert_us * 1e-6
+    return overrides
+
+
+def _add_live_flags(parser) -> None:
+    parser.add_argument("--live", action="store_true",
+                        help="attach the sampled live-telemetry plane "
+                             "instead of full tracing")
+    parser.add_argument("--live-window-us", type=float, default=0.0,
+                        help="aggregation window in simulated us "
+                             "(0 = default 1000)")
+    parser.add_argument("--head-rate", type=float, default=0.0,
+                        help="head-sampling rate in (0, 1] (0 = default 1/64)")
+    parser.add_argument("--slo-threshold-us", type=float, default=0.0,
+                        help="per-op latency SLO for burn-rate flight "
+                             "triggers (0 = off)")
+    parser.add_argument("--stall-alert-us", type=float, default=0.0,
+                        help="stall duration that triggers a flight dump "
+                             "(0 = off)")
+    parser.add_argument("--openmetrics", default=None, metavar="FILE",
+                        help="write the OpenMetrics exposition document")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="write flight-recorder dump JSON files here")
+
+
+def _write_flight_dumps(recorders, labels, out_dir) -> List[pathlib.Path]:
+    """One JSON file per flight dump; deterministic names and bytes."""
+    from repro.obs.live import FlightRecorder
+
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for label, recorder in zip(labels, recorders):
+        for i, doc in enumerate(recorder.flight.dumps):
+            path = out / f"flight-{label}-{i}-{doc['trigger']}.json"
+            path.write_text(FlightRecorder.dump_json(doc))
+            written.append(path)
+    return written
+
+
 def cmd_dbbench(args) -> int:
     scale = default_scale()
     n = args.n or scale.records_for(args.value_size)
@@ -222,10 +272,32 @@ def cmd_trace(args) -> int:
             reads=args.reads,
             seed=args.seed,
             ssd=args.ssd,
+            live=_live_overrides(args) if args.live else None,
         )
         out = _trace_path(args.out, name, multi)
         write_chrome_trace(recorder, out, process_name=name)
         print(f"# trace: {out} ({len(recorder)} events)", file=sys.stderr)
+        if args.live:
+            meta = recorder.sampling_meta()
+            print(
+                f"# sampled: {meta['ops_retained']}/{meta['ops_seen']} ops "
+                f"retained (head={meta['retained_head']} "
+                f"tail={meta['retained_tail']} "
+                f"stall={meta['retained_stall']})",
+                file=sys.stderr,
+            )
+            if args.openmetrics:
+                from repro.obs.live import write_openmetrics
+
+                path = _trace_path(args.openmetrics, name, multi)
+                write_openmetrics(path, recorder, labels=["0"])
+                print(f"# openmetrics: {path}", file=sys.stderr)
+            if args.flight_dir:
+                written = _write_flight_dumps(
+                    [recorder], [name], args.flight_dir
+                )
+                print(f"# flight dumps: {len(written)} in {args.flight_dir}",
+                      file=sys.stderr)
         if args.metrics:
             path = _trace_path(args.metrics, name, multi)
             write_metrics(system, path, recorder)
@@ -356,6 +428,10 @@ def cmd_cluster(args) -> int:
         key_space=args.key_space,
         vnodes_per_shard=args.vnodes,
     )
+    if args.live and (args.trace or args.analyze):
+        print("--live replaces full tracing; drop --trace/--analyze or "
+              "--live", file=sys.stderr)
+        return 2
     recorders = (
         cluster.attach_tracing() if (args.trace or args.analyze) else None
     )
@@ -364,6 +440,24 @@ def cmd_cluster(args) -> int:
         router.put(key_for(i), SizedValue(("preload", i), args.value_size))
     router.quiesce()
     router.reset_window()
+
+    live_recorders = dashboard = None
+    if args.live:
+        # Attached after the preload: the live plane watches steady-state
+        # serving (its window cursor skips pre-attach samples anyway).
+        live_recorders = cluster.attach_live(**_live_overrides(args))
+        from repro.obs.live import LiveDashboard
+
+        refresh_s = (
+            args.live_refresh_us * 1e-6 if args.live_refresh_us > 0
+            else max(4e-3, 4 * live_recorders[0].config.window_s)
+        )
+        dashboard = LiveDashboard(
+            live_recorders,
+            labels=[str(s.shard_id) for s in cluster.shards],
+            refresh_s=refresh_s,
+            sink=lambda frame: print(frame, end=""),
+        )
 
     theta = args.theta if args.theta > 0 else None
     rate = float("inf") if args.rate <= 0 else args.rate
@@ -389,8 +483,11 @@ def cmd_cluster(args) -> int:
         rebalance_every=args.rebalance_every,
         hot_factor=args.hot_factor,
         batch_limit=_batch_arg(args),
+        dashboard=dashboard,
     )
     router.quiesce()
+    if dashboard is not None:
+        dashboard.force_refresh(cluster.clock.now)
 
     rows = [
         [d["shard"], d["ops"], sum(d["drops"].values()), d["max_queue_depth"],
@@ -413,6 +510,25 @@ def cmd_cluster(args) -> int:
         path = pathlib.Path(args.metrics)
         path.write_text(cluster_metrics_json(cluster, router, result))
         print(f"# metrics: {path}", file=sys.stderr)
+    if live_recorders is not None:
+        cluster.detach_tracing()
+        if args.openmetrics:
+            from repro.cluster import cluster_openmetrics_text
+            from repro.obs import write_artifact
+
+            write_artifact(
+                args.openmetrics,
+                cluster_openmetrics_text(cluster, live_recorders),
+                overwrite=True,
+            )
+            print(f"# openmetrics: {args.openmetrics}", file=sys.stderr)
+        if args.flight_dir:
+            labels = [str(s.shard_id) for s in cluster.shards]
+            written = _write_flight_dumps(
+                live_recorders, labels, args.flight_dir
+            )
+            print(f"# flight dumps: {len(written)} in {args.flight_dir}",
+                  file=sys.stderr)
     if recorders is not None:
         cluster.detach_tracing()
         if args.trace:
@@ -523,6 +639,8 @@ def cmd_perf(args) -> int:
     ]
     if args.check_band is not None:
         argv += ["--check-band", args.check_band]
+    if args.history:
+        argv += ["--history"]
     return perf.main(argv)
 
 
@@ -602,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the background queue-depth time series")
     p.add_argument("--gantt", action="store_true",
                    help="print an ASCII gantt of background jobs")
+    _add_live_flags(p)
     p.set_defaults(func=cmd_trace)
 
     def _add_traced_workload(p):
@@ -696,6 +815,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the router-merged latency attribution report")
     p.add_argument("--analyze-json", default=None, metavar="FILE",
                    help="also write the cluster analysis document (JSON)")
+    _add_live_flags(p)
+    p.add_argument("--live-refresh-us", type=float, default=0.0,
+                   help="dashboard refresh cadence in simulated us "
+                        "(0 = 4x the aggregation window)")
     p.set_defaults(func=cmd_cluster, value_size=256)
 
     p = sub.add_parser(
@@ -730,12 +853,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--perf-store", default="miodb", metavar="STORE")
     p.add_argument("--ops-scale", choices=["tiny", "default"], default="default")
     p.add_argument("--repeats", type=int, default=3)
-    p.add_argument("--kernels", default="put,get,scan,flush,compact,cluster")
+    p.add_argument(
+        "--kernels",
+        default="put,get,scan,flush,compact,cluster,"
+                "put-traced,get-traced,put-live,get-live",
+    )
     p.add_argument("--json", default="BENCH_perf.json")
     p.add_argument("--check-band", metavar="LABEL", default=None,
                    help="compare against recorded run LABEL instead of "
                         "recording; exit 1 on violation")
     p.add_argument("--band-factor", type=float, default=3.0)
+    p.add_argument("--history", action="store_true",
+                   help="render the per-kernel trajectory across recorded "
+                        "runs instead of running kernels")
     p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser(

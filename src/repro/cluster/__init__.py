@@ -39,6 +39,7 @@ from repro.cluster.metrics import (
     cluster_chrome_trace,
     cluster_metrics_json,
     cluster_metrics_snapshot,
+    cluster_openmetrics_text,
     cluster_trace_json,
     write_cluster_trace,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "maybe_rebalance",
     "cluster_metrics_snapshot",
     "cluster_metrics_json",
+    "cluster_openmetrics_text",
     "cluster_chrome_trace",
     "cluster_trace_json",
     "write_cluster_trace",

@@ -224,6 +224,7 @@ def run_cluster(
     hot_factor: float = 1.5,
     max_rebalances: int = 4,
     batch_limit: Optional[int] = None,
+    dashboard=None,
 ) -> ClusterRunResult:
     """Drive ``clients`` against ``router``; returns cluster-level metrics.
 
@@ -242,6 +243,11 @@ def run_cluster(
     order -- and with it every simulated number -- is identical to the
     one-request-at-a-time loop; ``batch_limit`` (``None`` = unbounded)
     only caps how long a single drain may run.
+
+    ``dashboard`` is an optional
+    :class:`~repro.obs.live.dashboard.LiveDashboard`; it is offered each
+    completion time so frames render on simulated-time ticks (one
+    ``is None`` check per completion when off).
     """
     from collections import deque
 
@@ -413,6 +419,8 @@ def run_cluster(
             completed += 1
             state.completed += 1
             served += 1
+            if dashboard is not None:
+                dashboard.maybe_refresh(now)
             if state.spec.closed_loop:
                 schedule_next(state, now)
 

@@ -73,6 +73,23 @@ def cluster_metrics_json(cluster, router=None, result=None) -> str:
     return json.dumps(doc, sort_keys=True, indent=2) + "\n"
 
 
+def cluster_openmetrics_text(cluster, recorders: List[object]) -> str:
+    """The shards' live telemetry as one OpenMetrics exposition document.
+
+    ``recorders`` is the list returned by ``cluster.attach_live()``
+    (shard order); the ``shard`` label carries the shard id.  Like every
+    exporter here, the text is byte-identical for identical seeded runs.
+    """
+    from repro.obs.live.openmetrics import openmetrics_text
+
+    if len(recorders) != cluster.n_shards:
+        raise ValueError(
+            f"expected {cluster.n_shards} recorders, got {len(recorders)}"
+        )
+    labels = [str(shard.shard_id) for shard in cluster.shards]
+    return openmetrics_text(recorders, labels)
+
+
 def cluster_chrome_trace(cluster, recorders: List[object]) -> dict:
     """Shard trace streams merged into one multi-process trace document.
 

@@ -115,6 +115,32 @@ class Cluster:
         for shard in self.shards:
             shard.system.detach_tracing()
 
+    def attach_live(self, config=None, **overrides) -> List[object]:
+        """Attach a live (sampled) recorder to every shard.
+
+        Returns the recorders in shard order.  Each shard gets its own
+        sampling seed (base seed + shard id), so head-sampled runs are
+        decorrelated across shards while every shard's retained set
+        stays a pure function of the cluster seed.  Config is a
+        :class:`~repro.obs.live.recorder.LiveConfig` (or keyword
+        overrides for one); detach with :meth:`detach_tracing`.
+        """
+        from repro.obs.live.recorder import LiveConfig, LiveRecorder
+
+        if config is None:
+            config = LiveConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass a LiveConfig or overrides, not both")
+        recorders = []
+        for shard in self.shards:
+            shard_cfg = LiveConfig(**config.as_dict())
+            shard_cfg.seed = config.seed + shard.shard_id
+            recorder = LiveRecorder(
+                self.clock, shard_cfg, shard_id=shard.shard_id
+            )
+            recorders.append(recorder.attach(shard.system))
+        return recorders
+
     def merged_latency(self) -> LatencyRecorder:
         """Store-level latency samples pooled across every shard."""
         merged = LatencyRecorder()

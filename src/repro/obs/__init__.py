@@ -66,6 +66,19 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.live import (
+    FlightRecorder,
+    HeadSampler,
+    LiveConfig,
+    LiveDashboard,
+    LiveRecorder,
+    TailSampler,
+    WindowAggregator,
+    head_keep,
+    openmetrics_text,
+    splitmix64,
+    write_openmetrics,
+)
 from repro.obs.recorder import TraceRecorder
 from repro.obs.runner import run_traced
 
@@ -108,4 +121,15 @@ __all__ = [
     "SloObjective",
     "BurnRateRule",
     "SloMonitor",
+    "LiveRecorder",
+    "LiveConfig",
+    "LiveDashboard",
+    "FlightRecorder",
+    "WindowAggregator",
+    "HeadSampler",
+    "TailSampler",
+    "head_keep",
+    "splitmix64",
+    "openmetrics_text",
+    "write_openmetrics",
 ]

@@ -48,7 +48,13 @@ def analyze_run(
     top: int = TOP_CHAINS,
     timeline_bins: int = 20,
 ) -> dict:
-    """The full analysis document for one traced store run."""
+    """The full analysis document for one traced store run.
+
+    Works on full-fidelity and live (sampled) recorders alike; a live
+    recorder additionally contributes a ``"sampling"`` section with its
+    exact seen/retained bookkeeping, so readers know the op-level
+    numbers cover a retained subset and by what factor to rescale.
+    """
     attrs = attribute_ops(recorder)
     chains = critical_paths(recorder)
     chains_by_len = sorted(
@@ -56,7 +62,12 @@ def analyze_run(
     )[: max(0, top)]
     end_s = system.clock.now
     user_bytes = system.stats.get("user.bytes_written")
+    sampling = None
+    meta_fn = getattr(recorder, "sampling_meta", None)
+    if meta_fn is not None:
+        sampling = meta_fn()
     return {
+        **({"sampling": sampling} if sampling is not None else {}),
         "schema": 1,
         "store": store_name,
         "sim_time_s": end_s,

@@ -1,0 +1,206 @@
+"""Flight recorder: a bounded ring of recent events plus dump triggers.
+
+Full tracing answers "what happened?" after the fact; the flight
+recorder answers it *at incident time* without paying full-trace cost
+steady-state.  The live recorder feeds every event it sees -- sampled or
+not -- into a bounded ring of lightweight tuples.  When a trigger fires
+(a stall longer than a threshold, a burst of admission-queue drops, or
+an SLO burn-rate alert), the ring is frozen into a deterministic JSON
+document: the complete recent window, ready for post-incident forensics.
+
+Everything here runs on the simulated clock, so for a seeded scenario
+the dump -- trigger time, ring contents, window rows -- is byte-identical
+across runs; a pinned-hash test holds it to that.
+"""
+
+import json
+from collections import deque
+from typing import List, Optional
+
+from repro.obs.analyze.slo import BurnRateRule, SloObjective
+
+#: Schema version stamped into every dump document.
+FLIGHT_SCHEMA = "repro-flight-v1"
+
+#: Trigger names (closed vocabulary, mirrored in dump docs and metrics).
+TRIGGER_STALL = "stall-alert"
+TRIGGER_DROPS = "drop-burst"
+TRIGGER_SLO = "slo-burn"
+TRIGGER_MANUAL = "manual"
+TRIGGERS = (TRIGGER_STALL, TRIGGER_DROPS, TRIGGER_SLO, TRIGGER_MANUAL)
+
+
+class FlightRecorder:
+    """Ring buffer of recent events with trigger-driven dumps.
+
+    Ring entries are plain tuples tagged by their first element:
+
+    - ``("op", kind, start, dur)`` -- one foreground op
+    - ``("ops", kind, starts, durs)`` -- one coalesced batch (the lists
+      are shared with the emitted batch, zero-copy)
+    - ``("stall", cause, ts, seconds)`` -- a stall span or instant
+    - ``("job", worker, name, cat, start, end, wait_s)`` -- background job
+    - ``("transfer", device, op, nbytes, sequential, seconds, ts)``
+    - ``("queue", kind, arrival, end, client, shard)`` -- served request
+    - ``("drop", cause, client, ts)`` -- shed request
+
+    Dump documents are capped at ``max_dumps`` (oldest kept: the first
+    dumps after an incident usually hold the interesting window); further
+    triggers only count.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        stall_alert_s: Optional[float] = None,
+        drop_burst_n: int = 8,
+        drop_burst_s: float = 1e-3,
+        slo: Optional[SloObjective] = None,
+        burn_rule: Optional[BurnRateRule] = None,
+        max_dumps: int = 4,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"flight capacity must be >= 1, got {capacity}")
+        if max_dumps < 0:
+            raise ValueError(f"max_dumps must be >= 0, got {max_dumps}")
+        self.capacity = capacity
+        self.ring: deque = deque(maxlen=capacity)
+        self.stall_alert_s = stall_alert_s
+        self.drop_burst_n = drop_burst_n
+        self.drop_burst_s = drop_burst_s
+        self.slo = slo
+        # Default rule: short lookback of 5 simulated ms, long of 50ms,
+        # firing at 2x budget burn -- scaled to trace-length runs rather
+        # than wall-clock SRE windows.
+        self.burn_rule = (
+            burn_rule
+            if burn_rule is not None
+            else BurnRateRule(short_s=5e-3, long_s=50e-3, factor=2.0)
+        )
+        self.max_dumps = max_dumps
+        self.dumps: List[dict] = []
+        #: Trigger counts, including triggers past the ``max_dumps`` cap.
+        self.trigger_counts = {name: 0 for name in TRIGGERS}
+        #: Optional zero-arg callable returning extra context (sampling
+        #: bookkeeping, recent window rows) embedded in each dump.
+        self.context_provider = None
+        self._drop_times: deque = deque()
+        # Per-window (ops, bad) history for burn-rate evaluation; rows
+        # are appended by the window aggregator via :meth:`on_window`.
+        self._slo_windows: List = []
+
+    # -------------------------------------------------------------- feeds
+
+    def on_stall(self, cause: str, ts: float, seconds: float) -> None:
+        """A stall span or cumulative-slowdown instant completed."""
+        self.ring.append(("stall", cause, ts, seconds))
+        alert = self.stall_alert_s
+        if alert is not None and seconds >= alert:
+            self._trigger(
+                TRIGGER_STALL, ts,
+                {"cause": cause, "seconds": seconds, "threshold_s": alert},
+            )
+
+    def on_drop(self, cause: str, client: str, ts: float) -> None:
+        """An admission-queue drop; fires on a burst within the window."""
+        self.ring.append(("drop", cause, client, ts))
+        times = self._drop_times
+        times.append(ts)
+        horizon = ts - self.drop_burst_s
+        while times and times[0] < horizon:
+            times.popleft()
+        if len(times) >= self.drop_burst_n:
+            self._trigger(
+                TRIGGER_DROPS, ts,
+                {
+                    "cause": cause,
+                    "drops_in_window": len(times),
+                    "burst_n": self.drop_burst_n,
+                    "burst_window_s": self.drop_burst_s,
+                },
+            )
+            times.clear()
+
+    def on_window(self, t_s: float, ops: int, bad: int) -> None:
+        """One closed aggregation window; evaluates the burn-rate rule.
+
+        ``bad`` is the number of ops in the window whose latency exceeded
+        the SLO threshold.  Burn rate over a lookback of N windows is
+        ``(sum bad / sum ops) / error_budget``; the rule fires when both
+        its short and long lookbacks burn faster than ``factor``.
+        """
+        if self.slo is None:
+            return
+        rows = self._slo_windows
+        rows.append((t_s, ops, bad))
+        budget = 1.0 - self.slo.target
+        if budget <= 0.0:
+            return
+        rule = self.burn_rule
+        short = self._burn(rows, t_s - rule.short_s, budget)
+        long_ = self._burn(rows, t_s - rule.long_s, budget)
+        if short is None or long_ is None:
+            return
+        if short > rule.factor and long_ > rule.factor:
+            self._trigger(
+                TRIGGER_SLO, t_s,
+                {
+                    "objective": self.slo.name,
+                    "threshold_s": self.slo.threshold_s,
+                    "target": self.slo.target,
+                    "burn_short": short,
+                    "burn_long": long_,
+                    "factor": rule.factor,
+                },
+            )
+            rows.clear()
+
+    @staticmethod
+    def _burn(rows, since: float, budget: float) -> Optional[float]:
+        ops = bad = 0
+        for t_s, n, b in rows:
+            if t_s >= since:
+                ops += n
+                bad += b
+        if ops == 0:
+            return None
+        return (bad / ops) / budget
+
+    # ------------------------------------------------------------ dumping
+
+    def _trigger(self, name: str, at_s: float, detail: dict) -> None:
+        self.trigger_counts[name] += 1
+        if len(self.dumps) >= self.max_dumps:
+            return
+        self.dumps.append(self._dump_doc(name, at_s, detail))
+
+    def dump_now(self, at_s: float, reason: str = TRIGGER_MANUAL) -> dict:
+        """Force a dump of the current ring (e.g. at end of run)."""
+        self.trigger_counts[TRIGGER_MANUAL] += 1
+        doc = self._dump_doc(reason, at_s, {})
+        if len(self.dumps) < self.max_dumps:
+            self.dumps.append(doc)
+        return doc
+
+    def _dump_doc(self, trigger: str, at_s: float, detail: dict) -> dict:
+        doc = {
+            "schema": FLIGHT_SCHEMA,
+            "trigger": trigger,
+            "at_s": at_s,
+            "detail": detail,
+            "ring": [list(entry) for entry in self.ring],
+        }
+        if self.context_provider is not None:
+            doc["context"] = self.context_provider()
+        return doc
+
+    @staticmethod
+    def dump_json(doc: dict) -> str:
+        """Deterministic JSON text for one dump document."""
+        return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder({len(self.ring)}/{self.capacity} events, "
+            f"{len(self.dumps)} dumps)"
+        )

@@ -1,0 +1,272 @@
+"""Deterministic trace sampling: splitmix64 head decisions + tail outliers.
+
+The live telemetry plane cannot afford one :class:`TraceEvent` per
+operation, so it keeps two kinds of ops:
+
+- **Head samples** -- a pseudo-random, workload-independent subset chosen
+  by hashing the op *sequence number* with splitmix64.  The decision is a
+  pure function of ``(seed, seq)``: the same seed and the same op stream
+  always retain the same set, so live-trace hashes stay pinned for a
+  given configuration.  Decisions are made per *run* of ``run_len``
+  consecutive ops (the hash is over ``seq // run_len``), which amortises
+  the hash to a fraction of an op and keeps a retained op's neighbours --
+  and its device transfers -- in the trace with it.
+- **Tail samples** -- every op whose latency exceeds a rolling percentile
+  of recent latencies, and every op that touched a stall.  Tail retention
+  is decided at op completion from the op stream alone, so it is equally
+  deterministic.
+
+Retention is exact-bookkeeping sampling, not lossy aggregation: the
+sampler counts every op it sees and every op it keeps, per decision
+class, so downstream attribution can rescale retained counts back to
+population estimates (``scale() == seen / retained``).
+"""
+
+from typing import List, Optional, Tuple
+
+_MASK64 = (1 << 64) - 1
+
+#: Golden-ratio increment used by the splitmix64 stream (Steele et al.).
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+
+def splitmix64(x: int) -> int:
+    """The splitmix64 finalizer: one well-mixed 64-bit word from ``x``.
+
+    Same constants as the ring hash in :mod:`repro.cluster.placement`;
+    defined here too so the obs layer does not import the cluster layer.
+    """
+    x = (x + _SPLITMIX_GAMMA) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def head_keep(seed: int, seq: int, rate: float, run_len: int = 16) -> bool:
+    """Pure head-sampling decision for op ``seq`` at ``rate``.
+
+    True iff the run of ``run_len`` consecutive ops containing ``seq``
+    was drawn.  Exposed as a module function so tests (and attribution)
+    can recompute the retained set without a recorder.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"head rate must be in [0, 1], got {rate}")
+    if run_len < 1:
+        raise ValueError(f"run_len must be >= 1, got {run_len}")
+    threshold = int(rate * float(1 << 64))
+    return splitmix64(seed ^ ((seq // run_len) * _SPLITMIX_GAMMA)) < threshold
+
+
+class HeadSampler:
+    """Streaming form of :func:`head_keep` with O(1) amortised cost.
+
+    The recorder's hot path calls :meth:`advance` once per op; the hash
+    is only recomputed at run boundaries.  ``live`` mirrors the decision
+    for the *current* sequence number.
+    """
+
+    __slots__ = ("seed", "rate", "run_len", "live", "_threshold", "_left",
+                 "_seq", "seen", "kept")
+
+    def __init__(self, seed: int, rate: float, run_len: int = 16) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"head rate must be in [0, 1], got {rate}")
+        if run_len < 1:
+            raise ValueError(f"run_len must be >= 1, got {run_len}")
+        self.seed = seed
+        self.rate = rate
+        self.run_len = run_len
+        self._threshold = int(rate * float(1 << 64))
+        self._seq = 0
+        self._left = run_len
+        self.live = self._draw(0)
+        self.seen = 0
+        self.kept = 0
+
+    def _draw(self, run_index: int) -> bool:
+        return (
+            splitmix64(self.seed ^ (run_index * _SPLITMIX_GAMMA))
+            < self._threshold
+        )
+
+    def advance(self) -> bool:
+        """Consume one op; returns the decision for the op just consumed."""
+        live = self.live
+        self.seen += 1
+        if live:
+            self.kept += 1
+        self._seq += 1
+        left = self._left - 1
+        if left == 0:
+            self._left = self.run_len
+            self.live = self._draw(self._seq // self.run_len)
+        else:
+            self._left = left
+        return live
+
+    def advance_many(self, n: int) -> List[bool]:
+        """Decisions for the next ``n`` ops, one per op."""
+        return [self.advance() for __ in range(n)]
+
+    def take(self, n: int) -> Tuple[int, bool]:
+        """Consume up to ``n`` ops sharing the current decision.
+
+        Returns ``(count, live)``: the number of ops consumed (bounded
+        by the remainder of the current run) and their shared decision.
+        The batched hot path walks a batch in run-sized chunks with this
+        -- ``batch/run_len`` calls instead of one per op -- and the
+        resulting per-op decisions are identical to ``advance()``'s.
+        """
+        left = self._left
+        k = n if n < left else left
+        live = self.live
+        self.seen += k
+        if live:
+            self.kept += k
+        self._seq += k
+        left -= k
+        if left == 0:
+            self._left = self.run_len
+            self.live = self._draw(self._seq // self.run_len)
+        else:
+            self._left = left
+        return k, live
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rate": self.rate,
+            "run_len": self.run_len,
+            "seen": self.seen,
+            "kept": self.kept,
+        }
+
+
+class TailSampler:
+    """Rolling-percentile outlier detector over recent op latencies.
+
+    Keeps the last ``window`` latencies in a circular buffer and refreshes
+    the retention threshold (the ``percentile``-th of the buffer) every
+    ``refresh`` observed ops.  Until the first refresh the threshold is
+    ``inf`` -- nothing tail-samples on latency while the distribution is
+    still unknown (stall retention is handled by the recorder and does
+    not wait).  All state is a pure function of the observed latency
+    stream, so tail decisions are as deterministic as head decisions.
+    """
+
+    __slots__ = ("percentile", "window", "refresh", "threshold",
+                 "_buf", "_idx", "_filled", "_since", "kept")
+
+    def __init__(
+        self,
+        percentile: float = 99.0,
+        window: int = 512,
+        refresh: int = 256,
+    ) -> None:
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(
+                f"tail percentile must be in (0, 100], got {percentile}"
+            )
+        if window < 1:
+            raise ValueError(f"tail window must be >= 1, got {window}")
+        if refresh < 1:
+            raise ValueError(f"tail refresh must be >= 1, got {refresh}")
+        self.percentile = percentile
+        self.window = window
+        self.refresh = refresh
+        self.threshold = float("inf")
+        self._buf: List[float] = [0.0] * window
+        self._idx = 0
+        self._filled = 0
+        self._since = 0
+        self.kept = 0
+
+    def observe(self, latency: float) -> bool:
+        """Record one latency; True iff it exceeds the rolling threshold."""
+        outlier = latency > self.threshold
+        if outlier:
+            self.kept += 1
+        buf = self._buf
+        idx = self._idx
+        buf[idx] = latency
+        idx += 1
+        if idx == self.window:
+            idx = 0
+        self._idx = idx
+        if self._filled < self.window:
+            self._filled += 1
+        self._since += 1
+        if self._since >= self.refresh:
+            self._refresh_threshold()
+        return outlier
+
+    def observe_many(self, latencies) -> Optional[List[int]]:
+        """Batched :meth:`observe`; returns outlier indices or ``None``.
+
+        Batch semantics differ from the scalar path in one documented
+        way: every op in the batch is judged against the threshold as of
+        the batch *start*, and the refresh check runs once at the batch
+        *end*.  Decisions stay a pure function of the latency stream and
+        its batching, so identical runs retain identical sets; the payoff
+        is that the whole batch is one ``max``, at most one outlier
+        comprehension, and two C-speed slice assignments -- no per-op
+        Python in the hot path.
+        """
+        n = len(latencies)
+        if not n:
+            return None
+        indices: Optional[List[int]] = None
+        threshold = self.threshold
+        if max(latencies) > threshold:
+            indices = [
+                i for i, lat in enumerate(latencies) if lat > threshold
+            ]
+            self.kept += len(indices)
+        buf = self._buf
+        idx = self._idx
+        window = self.window
+        if n >= window:
+            # The batch overwrites the whole ring; keep the scalar
+            # layout (newest item lands just before the final cursor).
+            final = (idx + n) % window
+            tail = latencies[n - window:]
+            split = window - final
+            buf[final:] = tail[:split]
+            buf[:final] = tail[split:]
+            self._idx = final
+            self._filled = window
+        else:
+            end = idx + n
+            if end <= window:
+                buf[idx:end] = latencies
+                self._idx = 0 if end == window else end
+            else:
+                split = window - idx
+                buf[idx:] = latencies[:split]
+                buf[:end - window] = latencies[split:]
+                self._idx = end - window
+            if self._filled < window:
+                self._filled = min(window, self._filled + n)
+        self._since += n
+        if self._since >= self.refresh:
+            self._refresh_threshold()
+        return indices or None
+
+    def _refresh_threshold(self) -> None:
+        from repro.sim.latency import percentile as nearest_rank
+
+        self._since = 0
+        live = sorted(self._buf[: self._filled])
+        self.threshold = nearest_rank(live, self.percentile)
+
+    def as_dict(self) -> dict:
+        return {
+            "percentile": self.percentile,
+            "window": self.window,
+            "refresh": self.refresh,
+            "threshold": self.threshold if self.threshold != float("inf")
+            else None,
+            "kept": self.kept,
+        }

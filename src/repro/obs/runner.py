@@ -20,6 +20,7 @@ def run_traced(
     seed: int = 1,
     ssd: bool = False,
     scale=None,
+    live=None,
 ) -> Tuple[object, object, object]:
     """Run a traced workload; returns ``(store, system, recorder)``.
 
@@ -27,6 +28,12 @@ def run_traced(
     ``reads`` random/sequential reads), or ``ycsb-<X>`` for any YCSB
     workload letter (a load phase of ``n`` records followed by ``reads``
     operations of workload X).
+
+    ``live`` switches from the full-fidelity recorder to the sampled
+    :class:`~repro.obs.live.recorder.LiveRecorder`: pass a dict of
+    :class:`~repro.obs.live.recorder.LiveConfig` keyword overrides (or
+    ``{}`` for defaults).  The workload, clock, and store state are
+    identical either way -- only what the recorder retains differs.
 
     The recorder is detached before returning, so the caller can export
     its events without further mutation.  ``scale`` is a
@@ -75,10 +82,13 @@ def run_traced(
         if store_name == "miodb":
             overrides["max_nvm_buffer_bytes"] = 256 * KB
     store, system = make_store(store_name, scale, ssd=ssd, **overrides)
-    # Strict: an event outside the closed vocabularies raises here
-    # rather than silently widening the pinned schema.  Validation
-    # only -- the recorded stream (and its pinned hash) is unchanged.
-    recorder = system.attach_tracing(strict=True)
+    if live is not None:
+        recorder = system.attach_live(**live)
+    else:
+        # Strict: an event outside the closed vocabularies raises here
+        # rather than silently widening the pinned schema.  Validation
+        # only -- the recorded stream (and its pinned hash) is unchanged.
+        recorder = system.attach_tracing(strict=True)
     try:
         if ycsb_name is not None:
             load_phase(store, n, value_size, seed=seed)

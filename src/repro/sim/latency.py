@@ -67,6 +67,9 @@ class LatencyRecorder:
 
     def __init__(self) -> None:
         self._samples: Dict[str, List[Tuple[float, float]]] = {}
+        # Per-kind cursors for :meth:`window_snapshot`: index of the first
+        # sample not yet consumed by a resetting snapshot.
+        self._window_start: Dict[str, int] = {}
 
     def record(self, kind: str, at_time: float, latency: float) -> None:
         """Record one operation of ``kind`` finishing at ``at_time``."""
@@ -166,6 +169,47 @@ class LatencyRecorder:
             if counts[i]:
                 out.append((t0 + (i + 0.5) * width, sums[i] / counts[i]))
         return out
+
+    def window_snapshot(
+        self, kind: Optional[str] = None, reset: bool = False
+    ) -> LatencySummary:
+        """Summary of the samples recorded since the last resetting snapshot.
+
+        Rolling-window consumers (the live telemetry plane's windowed
+        aggregation) call this once per tick.  Only the samples recorded
+        after the previous ``reset=True`` call are summarised, via a
+        per-kind cursor -- no per-tick copy of the full sample history.
+        With ``reset=False`` the window is peeked without consuming it;
+        with ``reset=True`` the cursor advances so the next snapshot
+        starts fresh.  ``kind=None`` pools every kind (and resets every
+        cursor when asked to).
+        """
+        if kind is not None:
+            kinds = (kind,)
+        else:
+            kinds = tuple(self._samples)
+        values: List[float] = []
+        for k in kinds:
+            rows = self._samples.get(k)
+            if not rows:
+                continue
+            start = self._window_start.get(k, 0)
+            values.extend(lat for __, lat in rows[start:])
+            if reset:
+                self._window_start[k] = len(rows)
+        if not values:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        values.sort()
+        mean = sum(values) / len(values)
+        return LatencySummary(
+            count=len(values),
+            mean=mean,
+            p50=percentile(values, 50),
+            p90=percentile(values, 90),
+            p99=percentile(values, 99),
+            p999=percentile(values, 99.9),
+            max_=values[-1],
+        )
 
     def merge_from(self, other: "LatencyRecorder") -> None:
         """Absorb all samples from ``other``."""

@@ -31,6 +31,8 @@ KEY_FAMILIES: Dict[str, str] = {
     "recover": "crash recovery: count, time_s, replayed, dropped_jobs",
     "cluster": "sharded serving layer: routed ops, drops by cause, "
                "rebalances, migrated_keys, migrated_bytes",
+    "live": "live telemetry plane: ops_seen, ops_retained, windows, "
+            "flight_dumps (flushed once at recorder detach)",
 }
 
 

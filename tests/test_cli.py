@@ -208,3 +208,88 @@ def test_check_update_baseline_then_clean(tmp_path, capsys):
     assert main(argv) == 0
     out = capsys.readouterr().out
     assert "1 baselined" in out
+
+
+# ------------------------------------------------------------- live telemetry
+
+
+@pytest.mark.obs_live
+def test_trace_live_writes_sampled_artifacts(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.om"
+    rc = main([
+        "trace", "--store", "miodb", "--n", "512", "--reads", "64",
+        "--live", "--slo-threshold-us", "5", "--stall-alert-us", "10",
+        "--openmetrics", str(metrics), "--flight-dir", str(tmp_path),
+        "--out", str(out),
+    ])
+    assert rc == 0
+    printed = capsys.readouterr().err
+    assert "# sampled:" in printed
+    assert out.exists()
+    text = metrics.read_text()
+    assert text.endswith("# EOF\n")
+    assert "repro_ops_seen_total" in text
+    dumps = sorted(tmp_path.glob("flight-*.json"))
+    assert dumps, "seeded stall/SLO scenario produced no flight dumps"
+    doc = json.loads(dumps[0].read_text())
+    assert doc["schema"] == "repro-flight-v1"
+
+
+@pytest.mark.obs_live
+def test_trace_live_is_byte_identical_across_runs(tmp_path):
+    texts = []
+    for tag in ("a", "b"):
+        metrics = tmp_path / f"{tag}.om"
+        rc = main([
+            "trace", "--store", "miodb", "--n", "256", "--reads", "32",
+            "--live", "--openmetrics", str(metrics),
+            "--out", str(tmp_path / f"{tag}.json"),
+        ])
+        assert rc == 0
+        texts.append(metrics.read_text())
+    assert texts[0] == texts[1]
+
+
+@pytest.mark.obs_live
+def test_cluster_live_renders_dashboard_frames(tmp_path, capsys):
+    metrics = tmp_path / "cluster.om"
+    rc = main([
+        "cluster", "--store", "miodb", "--shards", "2", "--clients", "2",
+        "--ops", "300", "--live", "--live-refresh-us", "500",
+        "--openmetrics", str(metrics),
+    ])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "live telemetry @" in printed
+    assert "p99" in printed
+    text = metrics.read_text()
+    assert 'shard="1"' in text
+
+
+@pytest.mark.obs_live
+def test_cluster_live_conflicts_with_trace_and_analyze(tmp_path):
+    assert main([
+        "cluster", "--shards", "2", "--clients", "1", "--ops", "10",
+        "--live", "--trace", str(tmp_path / "t"),
+    ]) == 2
+    assert main([
+        "cluster", "--shards", "2", "--clients", "1", "--ops", "10",
+        "--live", "--analyze",
+    ]) == 2
+
+
+def test_perf_history_subcommand(tmp_path, capsys):
+    path = tmp_path / "perf.json"
+    rc = main([
+        "perf", "--label", "r0", "--ops-scale", "tiny", "--repeats", "1",
+        "--kernels", "put", "--json", str(path),
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["perf", "--history", "--ops-scale", "tiny", "--json", str(path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "perf history" in out
+    assert "-- put --" in out
+    assert "r0" in out

@@ -1,0 +1,126 @@
+"""Flight recorder: bounded ring, dump triggers, byte-identical dumps."""
+
+import hashlib
+
+import pytest
+
+from repro.obs.live import FlightRecorder, LiveConfig, LiveRecorder
+from repro.obs.live.flight import (
+    FLIGHT_SCHEMA,
+    TRIGGER_DROPS,
+    TRIGGER_MANUAL,
+    TRIGGER_SLO,
+    TRIGGER_STALL,
+)
+from repro.obs.runner import run_traced
+
+pytestmark = pytest.mark.obs_live
+
+#: Byte-stability pin for the seeded SLO-breach scenario below: the first
+#: flight dump of ``run_traced("miodb", n=512, reads=64)`` with the live
+#: plane at seed 1, a 10us stall alert, and a 5us SLO threshold.  If this
+#: changes, either the simulation or the dump format changed -- both must
+#: be deliberate.
+PINNED_DUMP_SHA256 = (
+    "06472fd580b428dbdcd659ff786c21921938e22a0dd3a9af6a6f88c5d88a1e1b"
+)
+
+LIVE = {"seed": 1, "stall_alert_s": 1e-5, "slo_threshold_s": 5e-6}
+
+
+def test_ring_is_bounded():
+    flight = FlightRecorder(capacity=8)
+    for i in range(100):
+        flight.ring.append(("op", "put", float(i), 1e-6))
+    assert len(flight.ring) == 8
+    assert flight.ring[0][2] == 92.0  # oldest surviving entry
+
+
+def test_stall_trigger_fires_at_threshold():
+    flight = FlightRecorder(capacity=16, stall_alert_s=1e-5)
+    flight.on_stall("memtable-full", 1.0, 9e-6)  # below threshold
+    assert not flight.dumps
+    flight.on_stall("memtable-full", 2.0, 1e-5)  # at threshold
+    assert [d["trigger"] for d in flight.dumps] == [TRIGGER_STALL]
+    doc = flight.dumps[0]
+    assert doc["schema"] == FLIGHT_SCHEMA
+    assert doc["at_s"] == 2.0
+    assert doc["detail"]["cause"] == "memtable-full"
+    # The ring snapshot includes both stalls, in order.
+    assert [entry[0] for entry in doc["ring"]] == ["stall", "stall"]
+
+
+def test_drop_burst_trigger_needs_n_drops_within_window():
+    flight = FlightRecorder(capacity=64, drop_burst_n=3, drop_burst_s=1e-3)
+    flight.on_drop("queue_full", "c0", 0.0)
+    flight.on_drop("queue_full", "c1", 2e-3)  # first drop aged out
+    flight.on_drop("queue_full", "c2", 2.5e-3)
+    assert not flight.dumps
+    flight.on_drop("queue_full", "c3", 2.6e-3)  # third within 1ms
+    assert [d["trigger"] for d in flight.dumps] == [TRIGGER_DROPS]
+    assert flight.dumps[0]["detail"]["drops_in_window"] == 3
+
+
+def test_slo_burn_trigger_needs_short_and_long_lookbacks():
+    from repro.obs.analyze.slo import BurnRateRule, SloObjective
+
+    flight = FlightRecorder(
+        capacity=16,
+        slo=SloObjective("t", 1e-6, 0.9),  # 10% error budget
+        burn_rule=BurnRateRule(short_s=2e-3, long_s=10e-3, factor=2.0),
+    )
+    # 50% bad = 5x budget burn on both lookbacks once windows exist.
+    flight.on_window(1e-3, 100, 50)
+    assert [d["trigger"] for d in flight.dumps] == [TRIGGER_SLO]
+    assert flight.dumps[0]["detail"]["burn_short"] == pytest.approx(5.0)
+
+
+def test_dumps_are_capped_but_triggers_keep_counting():
+    flight = FlightRecorder(capacity=8, stall_alert_s=0.0, max_dumps=2)
+    for i in range(5):
+        flight.on_stall("memtable-full", float(i), 1.0)
+    assert len(flight.dumps) == 2  # oldest kept
+    assert [d["at_s"] for d in flight.dumps] == [0.0, 1.0]
+    assert flight.trigger_counts[TRIGGER_STALL] == 5
+
+
+def test_manual_dump_always_returns_a_document():
+    flight = FlightRecorder(capacity=8, max_dumps=0)
+    doc = flight.dump_now(3.0)
+    assert doc["trigger"] == TRIGGER_MANUAL
+    assert not flight.dumps  # cap honoured
+    assert flight.trigger_counts[TRIGGER_MANUAL] == 1
+
+
+def test_seeded_slo_breach_dump_is_byte_identical_and_pinned():
+    texts = []
+    for __ in range(2):
+        __, __, rec = run_traced("miodb", n=512, reads=64, live=dict(LIVE))
+        dumps = rec.flight.dumps
+        assert [d["trigger"] for d in dumps] == [
+            "stall-alert", "stall-alert", "slo-burn", "stall-alert",
+        ]
+        texts.append(rec.flight.dump_json(dumps[0]))
+    assert texts[0] == texts[1]
+    digest = hashlib.sha256(texts[0].encode()).hexdigest()
+    assert digest == PINNED_DUMP_SHA256
+
+
+def test_dump_embeds_sampling_context():
+    __, __, rec = run_traced("miodb", n=512, reads=64, live=dict(LIVE))
+    doc = rec.flight.dumps[-1]
+    context = doc["context"]
+    assert context["sampling"]["ops_seen"] > 0
+    assert isinstance(context["windows"], list)
+
+
+def test_live_recorder_ring_stays_within_capacity():
+    cfg = LiveConfig(flight_capacity=32)
+    from repro.mem.system import HybridMemorySystem
+
+    system = HybridMemorySystem()
+    rec = LiveRecorder(system.clock, cfg).attach(system)
+    for i in range(500):
+        rec.span("foreground", "put", "op", i * 1e-6, i * 1e-6 + 1e-7)
+    assert len(rec.flight.ring) == 32
+    rec.detach()

@@ -1,0 +1,189 @@
+"""Windowed aggregation, OpenMetrics export, and the live dashboard."""
+
+import pytest
+
+from repro.mem.system import HybridMemorySystem
+from repro.obs.live import (
+    LiveDashboard,
+    WindowAggregator,
+    openmetrics_text,
+)
+from repro.obs.live.dashboard import render_frame, sparkline
+from repro.obs.runner import run_traced
+
+pytestmark = pytest.mark.obs_live
+
+LIVE = {"seed": 1, "stall_alert_s": 1e-5, "slo_threshold_s": 5e-6}
+
+
+def _fill(system, t0, n, kind="put", lat=1e-6, step=1e-5):
+    for i in range(n):
+        system.latency.record(kind, t0 + i * step, lat)
+
+
+# --------------------------------------------------------------- aggregation
+
+
+def test_windows_align_to_multiples_of_window_size():
+    system = HybridMemorySystem()
+    wa = WindowAggregator(system, window_s=1e-3)
+    _fill(system, 0.0, 10)
+    assert wa.maybe_tick(9e-4) is False  # edge not crossed yet
+    assert wa.maybe_tick(1e-3) is True
+    row = wa.rows[-1]
+    assert row["t_s"] == 1e-3
+    assert row["ops"] == 10
+    assert row["kiops"] == pytest.approx(10 / 1e-3 / 1e3)
+    assert row["p50_us"] == pytest.approx(1.0)
+
+
+def test_empty_windows_produce_no_rows():
+    system = HybridMemorySystem()
+    wa = WindowAggregator(system, window_s=1e-3)
+    _fill(system, 0.0, 4)
+    assert wa.maybe_tick(1e-3)
+    # A long idle stretch then one op: exactly one more row, no zeros.
+    _fill(system, 7e-3, 1)
+    assert wa.maybe_tick(8e-3)
+    assert len(wa.rows) == 2
+    assert wa.rows[-1]["ops"] == 1
+    assert wa.next_edge == pytest.approx(9e-3)
+
+
+def test_finalize_flushes_the_partial_window():
+    system = HybridMemorySystem()
+    wa = WindowAggregator(system, window_s=1e-3)
+    _fill(system, 0.0, 3)
+    wa.finalize(4.5e-4)
+    assert len(wa.rows) == 1
+    assert wa.rows[0]["t_s"] == 4.5e-4
+    assert wa.rows[0]["ops"] == 3
+    wa.finalize(5e-4)  # nothing new: no extra row
+    assert len(wa.rows) == 1
+
+
+def test_row_cap_drops_oldest_and_counts():
+    system = HybridMemorySystem()
+    wa = WindowAggregator(system, window_s=1e-3, max_rows=2)
+    for i in range(4):
+        _fill(system, i * 1e-3, 2)
+        wa.maybe_tick((i + 1) * 1e-3)
+    assert len(wa.rows) == 2
+    assert wa.dropped_rows == 2
+    assert wa.rows[0]["t_s"] == pytest.approx(3e-3)
+
+
+def test_window_listener_receives_bad_counts():
+    system = HybridMemorySystem()
+    wa = WindowAggregator(system, window_s=1e-3, slo_threshold_s=1e-6)
+    seen = []
+    wa.set_window_listener(lambda t_s, ops, bad: seen.append((t_s, ops, bad)))
+    _fill(system, 0.0, 5)
+    wa.bad_in_window = 2  # maintained by the recorder in production
+    wa.maybe_tick(1e-3)
+    assert seen == [(1e-3, 5, 2)]
+    assert wa.bad_in_window == 0  # consumed at tick
+
+
+# --------------------------------------------------------------- openmetrics
+
+
+def test_openmetrics_document_shape():
+    __, __, rec = run_traced("miodb", n=512, reads=64, live=dict(LIVE))
+    text = openmetrics_text(rec, labels=["0"])
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    assert text.endswith("# EOF\n")
+    # Every family declares TYPE then HELP, counters sample as _total.
+    assert "# TYPE repro_ops_seen counter" in lines
+    assert "# HELP repro_ops_seen Foreground ops observed." in lines
+    assert any(
+        line.startswith('repro_ops_seen_total{shard="0"} ') for line in lines
+    )
+    assert "# TYPE repro_window_p99_seconds gauge" in lines
+    assert any(
+        line.startswith('repro_ops_retained_total{shard="0",decision="head"} ')
+        for line in lines
+    )
+    # The scenario stalls: stall seconds must be exported by cause.
+    assert any(
+        line.startswith('repro_stall_seconds_total{shard="0",cause=')
+        for line in lines
+    )
+    assert any(
+        line.startswith('repro_flight_dumps_total{shard="0",trigger=')
+        for line in lines
+    )
+
+
+def test_openmetrics_rejects_label_mismatch():
+    __, __, rec = run_traced("miodb", n=256, reads=0, live={})
+    with pytest.raises(ValueError):
+        openmetrics_text([rec], labels=["0", "1"])
+
+
+def test_cluster_openmetrics_is_deterministic():
+    from repro.cluster import (
+        ClientSpec,
+        Cluster,
+        ShardRouter,
+        cluster_openmetrics_text,
+        run_cluster,
+    )
+
+    def drive():
+        cluster = Cluster("miodb", n_shards=2)
+        router = ShardRouter(cluster)
+        recorders = cluster.attach_live(seed=3)
+        run_cluster(
+            router,
+            [
+                ClientSpec(n_ops=200, rate_per_s=float("inf"),
+                           key_space=400, seed=s)
+                for s in (1, 2)
+            ],
+        )
+        for rec in recorders:
+            rec.detach()
+        return cluster_openmetrics_text(cluster, recorders)
+
+    a, b = drive(), drive()
+    assert a == b
+    assert 'shard="1"' in a
+
+
+# ----------------------------------------------------------------- dashboard
+
+
+def test_sparkline_renders_last_width_values_monotonically():
+    assert sparkline([], width=6) == ""
+    assert len(sparkline([0.0, 0.5, 1.0], width=6)) == 3
+    assert len(sparkline([float(i) for i in range(40)], width=6)) == 6
+    from repro.obs.live.dashboard import SPARK_CHARS
+
+    chars = sparkline([float(i) for i in range(8)], width=8)
+    ranks = [SPARK_CHARS.index(c) for c in chars]
+    assert ranks == sorted(ranks), "ramp should render monotonically"
+
+
+def test_dashboard_frames_are_deterministic():
+    def drive():
+        __, __, rec = run_traced("miodb", n=512, reads=64, live=dict(LIVE))
+        return render_frame([rec], ["0"], now=rec.clock.now)
+
+    a, b = drive(), drive()
+    assert a == b
+    assert "live telemetry" in a
+    assert "p99" in a
+
+
+def test_dashboard_refresh_cadence():
+    __, __, rec = run_traced("miodb", n=512, reads=64, live=dict(LIVE))
+    frames = []
+    dash = LiveDashboard([rec], refresh_s=1e-3, sink=frames.append)
+    assert dash.maybe_refresh(5e-4) is False
+    assert dash.maybe_refresh(1e-3) is True
+    assert dash.maybe_refresh(1.2e-3) is False  # within the refresh period
+    assert dash.maybe_refresh(2.5e-3) is True
+    assert len(frames) == 2
+    assert len(dash.frames) == 2

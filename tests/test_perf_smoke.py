@@ -66,3 +66,59 @@ def test_record_run_roundtrip(tmp_path):
 
 def test_speedup_table_empty():
     assert "no perf runs" in speedup_table({"runs": []})
+
+
+@pytest.mark.parametrize("base", ["put", "get"])
+def test_instrumented_kernels_share_the_plain_fingerprint(base):
+    """Tracing (full or live) must add zero simulated time."""
+    plain = run_kernel(base, ops_scale="tiny", repeats=1)
+    traced = run_kernel(f"{base}-traced", ops_scale="tiny", repeats=1)
+    live = run_kernel(f"{base}-live", ops_scale="tiny", repeats=1)
+    assert traced["fingerprint"] == plain["fingerprint"]
+    assert live["fingerprint"] == plain["fingerprint"]
+    assert traced["ops"] == live["ops"] == plain["ops"]
+
+
+def test_check_band_violation_names_kernel_kops_and_band_edges():
+    from repro.bench.perf import check_band
+
+    ref = {"kernels": {"put": {
+        "wall_s": 0.01, "kops_wall": 100.0, "fingerprint": 1.0,
+    }}}
+    fresh = {"put": {"wall_s": 0.05, "kops_wall": 20.0, "fingerprint": 1.0}}
+    violations = check_band(fresh, ref, 3.0)
+    assert len(violations) == 1
+    line = violations[0]
+    assert "\n" not in line
+    assert "kernel put" in line
+    assert "20.000 kops" in line          # observed throughput
+    assert "0.010000s recorded" in line   # band lower edge
+    assert "0.030000s max" in line        # band upper edge
+    assert "3x" in line
+
+
+def test_history_table_renders_trajectory_and_flags_regressions():
+    from repro.bench.perf import history_table
+
+    doc = {"runs": [
+        {"label": "v0", "store": "miodb", "ops_scale": "tiny",
+         "kernels": {"put": {"wall_s": 0.010, "kops_wall": 100.0}}},
+        {"label": "v1", "store": "miodb", "ops_scale": "tiny",
+         "kernels": {"put": {"wall_s": 0.050, "kops_wall": 20.0}}},
+        {"label": "other-scale", "store": "miodb", "ops_scale": "default",
+         "kernels": {"put": {"wall_s": 1.0, "kops_wall": 1.0}}},
+    ]}
+    text = history_table(doc, "miodb", "tiny", band_factor=3.0)
+    assert "-- put --" in text
+    assert "v0" in text and "v1" in text
+    assert "other-scale" not in text  # filtered by ops_scale
+    lines = {l.split()[0]: l for l in text.splitlines() if l.startswith("  ")}
+    assert "REGRESSION" not in lines["v0"]  # first run is the baseline
+    assert "REGRESSION" in lines["v1"]      # 5x the best prior wall
+    assert text == history_table(doc, "miodb", "tiny", band_factor=3.0)
+
+
+def test_history_table_empty_doc():
+    from repro.bench.perf import history_table
+
+    assert "no perf runs" in history_table({"runs": []}, "miodb", "tiny")
