@@ -37,7 +37,10 @@ class LevelDBStore(KVStore):
         super().__init__(system, options or StoreOptions())
         self.device = self._pick_device(system, media)
         self.rng = XorShiftRng(0x1EAF)
-        self.wal = WriteAheadLog(self.device, f"{self.name}-wal")
+        self.wal = WriteAheadLog(
+            self.device, f"{self.name}-wal",
+            fsync_policy=self.options.fsync_policy, clock=system.clock,
+        )
         self.memtable = MemTable(system, self.options.memtable_bytes, self.rng.fork())
         self.immutable: Optional[MemTable] = None
         self._flush_job = None

@@ -123,7 +123,10 @@ class MatrixKVStore(KVStore):
         if self.device is None:
             raise ValueError(f"system has no {media} device")
         self.rng = XorShiftRng(0x3A7B)
-        self.wal = WriteAheadLog(system.nvm, f"{self.name}-wal")
+        self.wal = WriteAheadLog(
+            system.nvm, f"{self.name}-wal",
+            fsync_policy=self.options.fsync_policy, clock=system.clock,
+        )
         self.memtable = MemTable(system, self.options.memtable_bytes, self.rng.fork())
         self.immutable: Optional[MemTable] = None
         self._flush_job = None

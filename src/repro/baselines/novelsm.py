@@ -66,7 +66,10 @@ class NoveLSMStore(KVStore):
         if self.device is None:
             raise ValueError(f"system has no {media} device")
         self.rng = XorShiftRng(0x2073)
-        self.wal = WriteAheadLog(system.nvm, f"{self.name}-wal")
+        self.wal = WriteAheadLog(
+            system.nvm, f"{self.name}-wal",
+            fsync_policy=self.options.fsync_policy, clock=system.clock,
+        )
         self.dram_mt = MemTable(system, self.options.memtable_bytes, self.rng.fork())
         self.dram_imm: Optional[MemTable] = None
         self._dram_flush_job = None

@@ -50,7 +50,10 @@ class SLMDBStore(KVStore):
     def __init__(self, system, options: Optional[SLMDBOptions] = None) -> None:
         super().__init__(system, options or SLMDBOptions())
         self.rng = XorShiftRng(0x51DB)
-        self.wal = WriteAheadLog(system.nvm, f"{self.name}-wal")
+        self.wal = WriteAheadLog(
+            system.nvm, f"{self.name}-wal",
+            fsync_policy=self.options.fsync_policy, clock=system.clock,
+        )
         self.memtable = MemTable(system, self.options.memtable_bytes, self.rng.fork())
         self.immutable: Optional[MemTable] = None
         self._flush_job = None

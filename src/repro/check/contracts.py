@@ -49,7 +49,7 @@ ENGINE_HOOKS = ("_put", "_get", "_scan", "_batch_lookup")
 #: :func:`schema_fingerprint`).  Update deliberately, together with
 #: docs/observability.md and the pinned traces in tests/test_obs_schema.py.
 PINNED_EVENT_SCHEMA = (
-    "61c269a66f53295eb52ad556b854e889a09890897e9099c33022f833db1af899"
+    "07469758d6ca52a24906556eee0429f6c35a04ca5c47df5f162ec791c03eeeba"
 )
 
 

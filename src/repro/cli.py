@@ -8,6 +8,8 @@ Run workloads against any store in the library from a shell::
     python -m repro trace --store miodb --n 2048 --out trace.json
     python -m repro analyze --store miodb --mode ycsb-a
     python -m repro slo --store miodb --threshold-us 10 --target 0.999
+    python -m repro cluster --shards 4 --followers 2 --ack quorum
+    python -m repro chaos --store miodb --seeds 3,7,42 --report chaos.json
     python -m repro info
     python -m repro perf --label after-change
     python -m repro bench --jobs 8
@@ -151,7 +153,9 @@ def cmd_dbbench(args) -> int:
     rows = []
     multi = len(args.store) > 1
     for name in args.store:
-        store, system = make_store(name, scale, ssd=args.ssd)
+        store, system = make_store(
+            name, scale, ssd=args.ssd, fsync_policy=args.fsync_policy
+        )
         recorder = _start_trace(system, args)
         if args.mode in ("fillrandom", "all"):
             w = fill_random(store, n, args.value_size, seed=args.seed,
@@ -421,7 +425,22 @@ def cmd_cluster(args) -> int:
         print("cluster drives one store per run; pick one with --store",
               file=sys.stderr)
         return 2
-    cluster = Cluster(store_name, n_shards=args.shards, ssd=args.ssd)
+    replication = None
+    if args.followers > 0:
+        from repro.replication import ReplicationConfig
+
+        replication = ReplicationConfig(
+            followers=args.followers,
+            ack_policy=args.ack,
+            read_policy=args.read_policy,
+        )
+    cluster = Cluster(
+        store_name,
+        n_shards=args.shards,
+        ssd=args.ssd,
+        replication=replication,
+        fsync_policy=args.fsync_policy,
+    )
     router = ShardRouter(
         cluster,
         placement_name=args.placement,
@@ -457,6 +476,7 @@ def cmd_cluster(args) -> int:
             labels=[str(s.shard_id) for s in cluster.shards],
             refresh_s=refresh_s,
             sink=lambda frame: print(frame, end=""),
+            groups=cluster.groups if replication is not None else None,
         )
 
     theta = args.theta if args.theta > 0 else None
@@ -476,6 +496,11 @@ def cmd_cluster(args) -> int:
     admission = AdmissionControl(
         max_queue_depth=args.max_queue_depth, policy=args.admission
     )
+    sessions = (
+        [router.session() for __ in clients]
+        if replication is not None
+        else None
+    )
     result = run_cluster(
         router,
         clients,
@@ -484,6 +509,7 @@ def cmd_cluster(args) -> int:
         hot_factor=args.hot_factor,
         batch_limit=_batch_arg(args),
         dashboard=dashboard,
+        sessions=sessions,
     )
     router.quiesce()
     if dashboard is not None:
@@ -506,6 +532,18 @@ def cmd_cluster(args) -> int:
         f"{result.duration_s * 1e3:.2f} sim-ms), drops: {drops}, "
         f"rebalances: {len(result.rebalances)}"
     )
+    if replication is not None:
+        stats = cluster.stats
+        lags = ", ".join(
+            f"g{g.group_id}={g.lag()}" for g in cluster.groups
+        )
+        print(
+            f"replication: K={args.followers} ack={args.ack} "
+            f"read={args.read_policy}, "
+            f"elections={int(stats.get('repl.elections'))}, "
+            f"lag_peak={int(stats.get('repl.lag_peak'))} records, "
+            f"final lag: {lags}"
+        )
     if args.metrics:
         path = pathlib.Path(args.metrics)
         path.write_text(cluster_metrics_json(cluster, router, result))
@@ -551,6 +589,74 @@ def cmd_cluster(args) -> int:
             print()
             print(render_cluster_analysis(doc), end="")
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Seeded kill/restart chaos scenarios with post-run state audits."""
+    import json
+
+    from repro.replication import run_chaos
+
+    store_name = args.store[0]
+    if len(args.store) > 1:
+        print("chaos drives one store per run; pick one with --store",
+              file=sys.stderr)
+        return 2
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    if not seeds:
+        print("--seeds must name at least one seed", file=sys.stderr)
+        return 2
+    reports = []
+    rows = []
+    all_ok = True
+    for seed in seeds:
+        report = run_chaos(
+            store_name,
+            seed=seed,
+            shards=args.shards,
+            followers=args.followers,
+            ops=args.ops,
+            kills=args.kills,
+            restart_gap=args.restart_gap,
+            ack_policy=args.ack,
+            read_policy=args.read_policy,
+        )
+        reports.append(report)
+        all_ok = all_ok and report["ok"]
+        checks = report["checks"]
+        rows.append([
+            seed,
+            report["completed"],
+            int(report["kills"]),
+            int(report["restarts"]),
+            int(report["elections"]),
+            int(report["acked_lost"]),
+            "yes" if checks["oracle_match"] else "NO",
+            "yes" if checks["followers_match"] else "NO",
+            "PASS" if report["ok"] else "FAIL",
+        ])
+    print(format_table(
+        ["seed", "completed", "kills", "restarts", "elections",
+         "acked_lost", "oracle", "followers", "verdict"], rows))
+    print(
+        f"\nchaos: {store_name} shards={args.shards} K={args.followers} "
+        f"ack={args.ack} read={args.read_policy} -- "
+        f"{'all scenarios PASS' if all_ok else 'FAILURES above'}"
+    )
+    if args.report:
+        doc = {
+            "schema": 1,
+            "store": store_name,
+            "shards": args.shards,
+            "followers": args.followers,
+            "ack": args.ack,
+            "read_policy": args.read_policy,
+            "reports": reports,
+        }
+        path = pathlib.Path(args.report)
+        path.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+        print(f"# chaos report: {path}", file=sys.stderr)
+    return 0 if all_ok else 1
 
 
 def cmd_check(args) -> int:
@@ -676,6 +782,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="fillrandom")
     p.add_argument("--n", type=int, default=None, help="records to write")
     p.add_argument("--reads", type=int, default=2000)
+    p.add_argument("--fsync-policy", default="sync", metavar="POLICY",
+                   help="WAL durability: sync, batch:N, or interval:T "
+                        "(simulated seconds); default %(default)s")
     _add_batch(p, 128)
     p.set_defaults(func=cmd_dbbench)
 
@@ -808,6 +917,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rebalance-every", type=int, default=0, metavar="N",
                    help="hot-shard check every N completions (0 = off)")
     p.add_argument("--hot-factor", type=float, default=1.5)
+    p.add_argument("--followers", type=int, default=0, metavar="K",
+                   help="replicate each shard across K followers (0 = off)")
+    p.add_argument("--ack", choices=["leader", "quorum", "all"],
+                   default="quorum",
+                   help="write ack policy (with --followers > 0)")
+    p.add_argument("--read-policy",
+                   choices=["leader", "follower-eventual", "follower-ryw"],
+                   default="leader",
+                   help="read routing policy (with --followers > 0)")
+    p.add_argument("--fsync-policy", default="sync", metavar="POLICY",
+                   help="WAL durability: sync, batch:N, or interval:T "
+                        "(simulated seconds); default %(default)s")
     _add_batch(p, 32)
     p.add_argument("--metrics", default=None, metavar="FILE",
                    help="write the deterministic cluster metrics JSON")
@@ -820,6 +941,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dashboard refresh cadence in simulated us "
                         "(0 = 4x the aggregation window)")
     p.set_defaults(func=cmd_cluster, value_size=256)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded replica kill/restart scenarios with state audits",
+    )
+    p.add_argument(
+        "--store", type=_stores_arg, default=["miodb"],
+        help="store to replicate (one per run)",
+    )
+    p.add_argument("--seeds", default="1", metavar="S1,S2,...",
+                   help="comma list of scenario seeds")
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--followers", type=int, default=2, metavar="K")
+    p.add_argument("--ops", type=int, default=400,
+                   help="client ops per scenario")
+    p.add_argument("--kills", type=int, default=3,
+                   help="scheduled kills per scenario")
+    p.add_argument("--restart-gap", type=int, default=80, metavar="OPS",
+                   help="completed ops between a kill and its restart")
+    p.add_argument("--ack", choices=["leader", "quorum", "all"],
+                   default="quorum")
+    p.add_argument("--read-policy",
+                   choices=["leader", "follower-eventual", "follower-ryw"],
+                   default="leader")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="write the deterministic chaos report JSON")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "check",
@@ -856,7 +1004,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--kernels",
         default="put,get,scan,flush,compact,cluster,"
-                "put-traced,get-traced,put-live,get-live",
+                "put-traced,get-traced,put-live,get-live,"
+                "put-repl0,get-repl0,put-repl2,get-repl2",
     )
     p.add_argument("--json", default="BENCH_perf.json")
     p.add_argument("--check-band", metavar="LABEL", default=None,

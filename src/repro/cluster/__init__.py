@@ -28,6 +28,7 @@ always produce byte-identical artifacts.  See docs/cluster.md.
 from repro.cluster.driver import (
     ADMISSION_POLICIES,
     DROP_CAUSES,
+    DROP_NO_LEADER,
     DROP_QUEUE_FULL,
     DROP_RETRY_EXHAUSTED,
     AdmissionControl,
@@ -74,6 +75,7 @@ __all__ = [
     "run_cluster",
     "ADMISSION_POLICIES",
     "DROP_CAUSES",
+    "DROP_NO_LEADER",
     "DROP_QUEUE_FULL",
     "DROP_RETRY_EXHAUSTED",
     "HotShardReport",

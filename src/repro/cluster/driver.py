@@ -35,6 +35,7 @@ from repro.kvstore.values import SizedValue
 from repro.obs.events import (  # noqa: F401  (re-exports)
     CAT_QUEUE,
     DROP_CAUSES,
+    DROP_NO_LEADER,
     DROP_QUEUE_FULL,
     DROP_RETRY_EXHAUSTED,
 )
@@ -225,6 +226,8 @@ def run_cluster(
     max_rebalances: int = 4,
     batch_limit: Optional[int] = None,
     dashboard=None,
+    chaos=None,
+    sessions: Optional[List] = None,
 ) -> ClusterRunResult:
     """Drive ``clients`` against ``router``; returns cluster-level metrics.
 
@@ -248,6 +251,20 @@ def run_cluster(
     :class:`~repro.obs.live.dashboard.LiveDashboard`; it is offered each
     completion time so frames render on simulated-time ticks (one
     ``is None`` check per completion when off).
+
+    ``chaos`` is an optional
+    :class:`~repro.replication.chaos.ChaosInjector`; it is offered the
+    completed-op count after every completion and may kill or restart
+    replicas mid-run (the serve batch restarts afterwards, since the
+    shard's leader may have changed).  ``sessions`` is an optional
+    per-client list of :class:`~repro.replication.group.Session` tokens
+    for read-your-writes routing on replicated clusters.
+
+    On a replicated cluster a request whose shard is leaderless with no
+    election in flight (the group is below its majority and waiting for
+    a restart) is never silently dropped: ``"defer"`` admission retries
+    it after ``defer_s`` until retries exhaust, and the final verdict is
+    the closed-vocabulary ``no_leader`` drop cause.
     """
     from collections import deque
 
@@ -385,12 +402,33 @@ def run_cluster(
                     other_key = key
         queue = queues[serve_shard]
         shard = cluster.shards[serve_shard]
+        group = shard.group
         store_get = shard.store.get
         store_put = shard.store.put
         record = recorders[serve_shard].record
         obs = shard.system.obs
         served = 0
         while True:
+            if (
+                group is not None
+                and group.leader_idx is None
+                and not group.election_pending
+            ):
+                # Leaderless with no election in flight: the group is
+                # below its majority and cannot serve until a restart.
+                # Defer (bounded) or shed with the no_leader cause --
+                # never silently drop.
+                request = queue.popleft()
+                if (
+                    admission.policy == "defer"
+                    and request.retries < admission.max_retries
+                ):
+                    request.retries += 1
+                    stats.add("cluster.deferred", 1)
+                    push(request, at=clock.now + admission.defer_s)
+                else:
+                    drop(request, serve_shard, DROP_NO_LEADER)
+                break
             request = queue.popleft()
             state = states[request.client]
             if obs is not None:
@@ -407,7 +445,17 @@ def run_cluster(
                     clock.now,
                     {"client": request.client, "shard": serve_shard},
                 )
-            if request.kind == "get":
+            if group is not None:
+                session = sessions[request.client] if sessions else None
+                if request.kind == "get":
+                    group.get(request.key, session=session)
+                else:
+                    group.put(
+                        request.key,
+                        SizedValue(request.tag, state.spec.value_size),
+                        session=session,
+                    )
+            elif request.kind == "get":
                 store_get(request.key)
             else:
                 store_put(
@@ -423,6 +471,10 @@ def run_cluster(
                 dashboard.maybe_refresh(now)
             if state.spec.closed_loop:
                 schedule_next(state, now)
+            if chaos is not None and chaos.maybe_fire(completed):
+                # A kill or restart just fired: the shard's leader (and
+                # with it the hoisted store fast path) may be stale.
+                break
 
             if rebalance_every > 0:
                 since_check += 1

@@ -39,6 +39,12 @@ def cluster_metrics_snapshot(cluster, router=None, result=None) -> dict:
             for shard in cluster.shards
         },
     }
+    if any(shard.group is not None for shard in cluster.shards):
+        doc["replication"] = {
+            str(shard.shard_id): shard.group.snapshot()
+            for shard in cluster.shards
+            if shard.group is not None
+        }
     if router is not None:
         doc["placement"] = router.placement.describe()
         doc["window_shard_ops"] = list(router.shard_ops)

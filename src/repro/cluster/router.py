@@ -28,14 +28,21 @@ from repro.sim.stats import StatsRegistry
 
 
 class Shard:
-    """One cluster member: a store on its own simulated machine."""
+    """One cluster member: a store on its own simulated machine.
 
-    __slots__ = ("shard_id", "store", "system")
+    With replication enabled the shard fronts a whole
+    :class:`~repro.replication.group.ReplicaGroup`: ``group`` is set,
+    and ``store``/``system`` track the group's *current leader* (the
+    group repoints them on failover).
+    """
 
-    def __init__(self, shard_id: int, store, system) -> None:
+    __slots__ = ("shard_id", "store", "system", "group")
+
+    def __init__(self, shard_id: int, store, system, group=None) -> None:
         self.shard_id = shard_id
         self.store = store
         self.system = system
+        self.group = group
 
     def __repr__(self) -> str:
         return f"Shard({self.shard_id}, {self.store.name})"
@@ -50,6 +57,8 @@ class Cluster:
         n_shards: int = 4,
         scale=None,
         ssd: bool = False,
+        replication=None,
+        crash_injector=None,
         **overrides,
     ) -> None:
         # Imported here: the bench factory imports stores which import
@@ -62,27 +71,70 @@ class Cluster:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.store_name = store_name
         self.clock = SimClock()
-        #: Cluster-level counters (routed ops, drops, migration bytes).
+        #: Cluster-level counters (routed ops, drops, migration bytes,
+        #: and -- with replication on -- the ``repl.*`` family).
         self.stats = StatsRegistry()
+        self.replication = replication
         self.shards: List[Shard] = []
-        for shard_id in range(n_shards):
+
+        def build_system():
             if ssd:
-                system = HybridMemorySystem.with_ssd(clock=self.clock)
+                return HybridMemorySystem.with_ssd(clock=self.clock)
+            return HybridMemorySystem(clock=self.clock)
+
+        for shard_id in range(n_shards):
+            if replication is not None:
+                from repro.replication.group import ReplicaGroup
+
+                def factory(rid, _build=build_system):
+                    system = _build()
+                    return make_store(
+                        store_name, scale, system=system, ssd=ssd, **overrides
+                    )
+
+                group = ReplicaGroup(
+                    shard_id,
+                    self.clock,
+                    factory,
+                    replication,
+                    stats=self.stats,
+                    crash_injector=crash_injector,
+                )
+                leader = group.members[group.leader_idx]
+                shard = Shard(shard_id, leader.store, leader.system, group)
+                group.shard = shard
             else:
-                system = HybridMemorySystem(clock=self.clock)
-            store, __ = make_store(
-                store_name, scale, system=system, ssd=ssd, **overrides
-            )
-            self.shards.append(Shard(shard_id, store, system))
+                system = build_system()
+                store, __ = make_store(
+                    store_name, scale, system=system, ssd=ssd, **overrides
+                )
+                shard = Shard(shard_id, store, system)
+            self.shards.append(shard)
 
     @property
     def n_shards(self) -> int:
         return len(self.shards)
 
+    @property
+    def groups(self) -> List[Optional[object]]:
+        """Per-shard replica groups (``None`` entries when unreplicated)."""
+        return [shard.group for shard in self.shards]
+
+    def _systems(self):
+        """Every live simulated machine: shard systems, then -- with
+        replication on -- each group member's own system."""
+        for shard in self.shards:
+            if shard.group is not None:
+                for member in shard.group.members:
+                    if member.alive:
+                        yield member.system
+            else:
+                yield shard.system
+
     def settle_all(self) -> None:
         """Apply every shard's background effects due at the current time."""
-        for shard in self.shards:
-            shard.system.executor.settle()
+        for system in self._systems():
+            system.executor.settle()
 
     def quiesce(self) -> float:
         """Drain background work on every shard; returns the final time.
@@ -92,9 +144,9 @@ class Cluster:
         """
         while True:
             pending = False
-            for shard in self.shards:
-                if shard.system.executor.pending:
-                    shard.system.executor.drain()
+            for system in self._systems():
+                if system.executor.pending:
+                    system.executor.drain()
                     pending = True
             if not pending:
                 return self.clock.now
@@ -205,17 +257,37 @@ class ShardRouter:
 
     # ------------------------------------------------------- KVStore API
 
-    def put(self, key: bytes, value) -> float:
-        """Insert or update ``key`` on its owning shard."""
-        return self.shard_store(self.route(key)).put(key, value)
+    def session(self):
+        """A read-your-writes session token for replicated clusters."""
+        from repro.replication.group import Session
 
-    def get(self, key: bytes) -> Tuple[Optional[object], float]:
-        """Point lookup on the owning shard."""
-        return self.shard_store(self.route(key)).get(key)
+        return Session()
 
-    def delete(self, key: bytes) -> float:
+    def put(self, key: bytes, value, session=None) -> float:
+        """Insert or update ``key`` on its owning shard.
+
+        On a replicated cluster the write goes through the shard's
+        replica group (leader write + ack policy); if the group is
+        mid-election this blocks until a leader is up.
+        """
+        shard = self.cluster.shards[self.route(key)]
+        if shard.group is not None:
+            return shard.group.put(key, value, session=session)
+        return shard.store.put(key, value)
+
+    def get(self, key: bytes, session=None) -> Tuple[Optional[object], float]:
+        """Point lookup on the owning shard (read-policy routed)."""
+        shard = self.cluster.shards[self.route(key)]
+        if shard.group is not None:
+            return shard.group.get(key, session=session)
+        return shard.store.get(key)
+
+    def delete(self, key: bytes, session=None) -> float:
         """Tombstone ``key`` on its owning shard."""
-        return self.shard_store(self.route(key)).delete(key)
+        shard = self.cluster.shards[self.route(key)]
+        if shard.group is not None:
+            return shard.group.delete(key, session=session)
+        return shard.store.delete(key)
 
     def scan(self, start_key: bytes, count: int):
         """Scatter-gather range query across every shard.
@@ -232,7 +304,10 @@ class ShardRouter:
         start = self.cluster.clock.now
         results = []
         for shard in self.cluster.shards:
-            pairs, __ = shard.store.scan(start_key, count)
+            if shard.group is not None:
+                pairs, __ = shard.group.scan(start_key, count)
+            else:
+                pairs, __ = shard.store.scan(start_key, count)
             results.append(pairs)
         self.cluster.stats.add("cluster.scatter_scans", 1)
         merged = list(heapq.merge(*results))[:count]

@@ -46,7 +46,10 @@ class MioDB(KVStore):
         super().__init__(system, options or MioOptions())
         self.crash = crash_injector or PASSIVE_INJECTOR
         self.rng = XorShiftRng(0x111D)
-        self.wal = WriteAheadLog(system.nvm, "miodb-wal")
+        self.wal = WriteAheadLog(
+            system.nvm, "miodb-wal",
+            fsync_policy=self.options.fsync_policy, clock=system.clock,
+        )
         self.memtable = MemTable(system, self.options.memtable_bytes, self.rng.fork())
         self.immutable: Optional[MemTable] = None
         self._flush_tail = None

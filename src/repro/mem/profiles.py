@@ -55,6 +55,22 @@ NVME_SSD_PROFILE = DeviceProfile(
 )
 
 
+# Replica-to-replica WAL shipping link: a datacenter NIC-ish profile
+# (~10us one-way latency, ~3 GB/s sustained).  Not a storage device --
+# each follower's link is a standalone Device charging ship time, so the
+# link never appears in any store's write-amplification denominator.
+REPL_LINK_PROFILE = DeviceProfile(
+    name="repl-link",
+    read_latency=10 * US,
+    write_latency=10 * US,
+    seq_read_bw=3.0 * GB,
+    seq_write_bw=3.0 * GB,
+    rand_read_bw=3.0 * GB,
+    rand_write_bw=3.0 * GB,
+    persistent=False,
+)
+
+
 def scaled_profile(base: DeviceProfile, name: str, speedup: float) -> DeviceProfile:
     """A copy of ``base`` that is ``speedup`` times faster in every respect.
 

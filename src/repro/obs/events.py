@@ -35,6 +35,10 @@ CAT_JOB = "job"
 CAT_TRANSFER = "transfer"
 #: Admission-queue wait ahead of a served cluster request (router track).
 CAT_QUEUE = "queue"
+#: Replication activity: WAL shipping, follower apply, ack waits,
+#: leader elections and failover (``args["lsn"]``/``args["replica"]``
+#: when known).  Emitted on the group's member tracks.
+CAT_REPL = "repl"
 
 CATEGORIES = (
     CAT_OP,
@@ -44,6 +48,7 @@ CATEGORIES = (
     CAT_JOB,
     CAT_TRANSFER,
     CAT_QUEUE,
+    CAT_REPL,
 )
 
 # ------------------------------------------------------------ stall causes
@@ -77,8 +82,11 @@ STALL_CAUSES = frozenset(
 DROP_QUEUE_FULL = "queue_full"
 #: Deferred ``max_retries`` times and the queue was still full.
 DROP_RETRY_EXHAUSTED = "retry_exhausted"
+#: The shard's replica group had no leader (failover window) and the
+#: request exhausted its deferrals waiting for the election to finish.
+DROP_NO_LEADER = "no_leader"
 
-DROP_CAUSES = (DROP_QUEUE_FULL, DROP_RETRY_EXHAUSTED)
+DROP_CAUSES = (DROP_QUEUE_FULL, DROP_RETRY_EXHAUSTED, DROP_NO_LEADER)
 
 # -------------------------------------------------------------- the event
 

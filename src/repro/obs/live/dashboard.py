@@ -33,8 +33,18 @@ def render_frame(
     labels: Optional[Sequence[str]] = None,
     now: float = 0.0,
     spark_width: int = 24,
+    groups: Optional[Sequence[object]] = None,
 ) -> str:
-    """One dashboard frame over one or more live recorders."""
+    """One dashboard frame over one or more live recorders.
+
+    ``groups`` is an optional per-shard list of
+    :class:`~repro.replication.group.ReplicaGroup` objects (``None``
+    entries allowed); when any group is present the table gains a
+    ``role`` column (the serving replica, e.g. ``r1:leader``, or
+    ``electing`` during failover) and a ``lag`` column (worst live
+    follower replication lag, in records).  Without groups the frame is
+    byte-identical to the unreplicated dashboard.
+    """
     # Imported here, not at module scope: the bench layer builds stores,
     # which import the obs event vocabulary -- a module-scope import
     # would make ``import repro.obs`` circular.
@@ -44,35 +54,43 @@ def render_frame(
         recorders = [recorders]
     if labels is None:
         labels = [str(i) for i in range(len(recorders))]
+    replicated = groups is not None and any(g is not None for g in groups)
     rows = []
     spark_lines = []
-    for label, rec in zip(labels, recorders):
+    for index, (label, rec) in enumerate(zip(labels, recorders)):
         meta = rec.sampling_meta()
         window = rec.window
         row = window.last_row() if window is not None else None
         retained = meta["ops_retained"]
         seen = meta["ops_seen"]
-        rows.append(
-            [
-                label,
-                f"{row['kiops']:.1f}" if row else "-",
-                f"{row['p50_us']:.1f}" if row else "-",
-                f"{row['p99_us']:.1f}" if row else "-",
-                row["queue_depth"] if row else 0,
-                f"{row['wa']:.2f}" if row else "-",
-                f"{retained}/{seen}",
-                len(rec.flight.dumps),
-            ]
-        )
+        cells = [
+            label,
+            f"{row['kiops']:.1f}" if row else "-",
+            f"{row['p50_us']:.1f}" if row else "-",
+            f"{row['p99_us']:.1f}" if row else "-",
+            row["queue_depth"] if row else 0,
+            f"{row['wa']:.2f}" if row else "-",
+            f"{retained}/{seen}",
+            len(rec.flight.dumps),
+        ]
+        if replicated:
+            group = groups[index] if index < len(groups) else None
+            if group is None:
+                cells.extend(["-", "-"])
+            elif group.leader_idx is None:
+                cells.extend(["electing", group.lag()])
+            else:
+                cells.extend([f"r{group.leader_idx}:leader", group.lag()])
+        rows.append(cells)
         series = [r["p99_us"] for r in window.rows] if window is not None else []
         spark_lines.append(
             f"  shard {label} p99 [{sparkline(series, spark_width):<{spark_width}}]"
         )
-    table = format_table(
-        ["shard", "kiops", "p50_us", "p99_us", "qdepth", "wa",
-         "sampled", "dumps"],
-        rows,
-    )
+    headers = ["shard", "kiops", "p50_us", "p99_us", "qdepth", "wa",
+               "sampled", "dumps"]
+    if replicated:
+        headers.extend(["role", "lag"])
+    table = format_table(headers, rows)
     header = f"== live telemetry @ t={now * 1e3:.3f}ms =="
     return "\n".join([header, table, *spark_lines]) + "\n"
 
@@ -93,11 +111,13 @@ class LiveDashboard:
         refresh_s: float = 4e-3,
         sink=None,
         spark_width: int = 24,
+        groups: Optional[Sequence[object]] = None,
     ) -> None:
         if refresh_s <= 0:
             raise ValueError(f"refresh_s must be positive, got {refresh_s}")
         if not isinstance(recorders, (list, tuple)):
             recorders = [recorders]
+        self.groups = list(groups) if groups is not None else None
         self.recorders = list(recorders)
         self.labels = (
             list(labels) if labels is not None
@@ -124,7 +144,8 @@ class LiveDashboard:
 
     def _render(self, now: float) -> str:
         frame = render_frame(
-            self.recorders, self.labels, now=now, spark_width=self.spark_width
+            self.recorders, self.labels, now=now,
+            spark_width=self.spark_width, groups=self.groups,
         )
         self.frames.append(frame)
         if self.sink is not None:

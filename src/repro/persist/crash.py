@@ -47,6 +47,37 @@ class CrashInjector:
             del self._armed[point]
             raise SimulatedCrash(point)
 
+    def rearm(self, point: str, after_hits: int = 1) -> None:
+        """Arm ``point`` to fire ``after_hits`` reaches *from now*.
+
+        :meth:`arm` counts cumulative hits since the injector was built,
+        so reusing an injector across a chaos schedule's kill/restart
+        cycles would need every threshold offset by the hits already
+        taken.  ``rearm`` zeroes the point's hit count first, giving the
+        one-shot trigger a fresh fuse.
+        """
+        if after_hits < 1:
+            raise ValueError(f"after_hits must be >= 1, got {after_hits}")
+        self._hits.pop(point, None)
+        self._armed[point] = after_hits
+
+    def reset(self, point: Optional[str] = None) -> None:
+        """Disarm and forget hit counts for ``point`` (or every point).
+
+        Unlike :meth:`disarm`, which keeps hit counts so a later
+        :meth:`arm` still aims at the cumulative total, ``reset`` returns
+        the injector to its just-built state for the point(s) -- the
+        chaos harness calls it between schedule entries so pending
+        one-shot triggers from a previous incarnation cannot fire into
+        the restarted replica.
+        """
+        if point is None:
+            self._armed.clear()
+            self._hits.clear()
+        else:
+            self._armed.pop(point, None)
+            self._hits.pop(point, None)
+
     def hits(self, point: str) -> int:
         """How many times ``point`` has been reached."""
         return self._hits.get(point, 0)

@@ -7,12 +7,63 @@ CRC-style integrity flag so torn tails can be modelled; the log charges
 sequential writes to its device and its traffic counts toward write
 amplification, matching MioDB's theoretical WA bound of 3 (log + flush +
 lazy copy).
+
+Fsync policy
+------------
+
+``fsync_policy`` selects when appended records become durable:
+
+- ``"sync"`` (default) -- every append is one sequential device write;
+  a record is durable the instant ``append`` returns.
+- ``"batch:N"`` -- group commit: records buffer in volatile memory and
+  the Nth buffered record triggers one sequential write of all buffered
+  frames (amortizing the device's per-write latency N ways).
+- ``"interval:T"`` -- records buffer until ``T`` simulated seconds have
+  passed since the first buffered append, then one write flushes them
+  (requires the shared ``clock``).
+
+Buffered records are *not yet durable*: a crash loses them
+(:meth:`WriteAheadLog.crash_drop_unsynced`), replay skips them, and
+they occupy no device bytes until synced.  ``append_batch`` is always a
+commit barrier: it flushes any buffered records first.
 """
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 # Frame: 8B seq + 4B key len + 4B value len + 1B kind/CRC.
 RECORD_HEADER_BYTES = 17
+
+#: The fsync policy names accepted by :func:`parse_fsync_policy`.
+FSYNC_MODES = ("sync", "batch", "interval")
+
+
+def parse_fsync_policy(policy: str) -> Tuple[str, float]:
+    """``"sync" | "batch:N" | "interval:T"`` -> ``(mode, parameter)``.
+
+    Raises ``ValueError`` on anything else, so a typo'd CLI flag fails
+    at store construction rather than silently meaning ``sync``.
+    """
+    if policy == "sync":
+        return "sync", 0.0
+    mode, sep, arg = policy.partition(":")
+    if sep and mode == "batch":
+        try:
+            n = int(arg)
+        except ValueError:
+            n = 0
+        if n >= 1:
+            return "batch", float(n)
+    elif sep and mode == "interval":
+        try:
+            t = float(arg)
+        except ValueError:
+            t = 0.0
+        if t > 0:
+            return "interval", t
+    raise ValueError(
+        f"bad fsync policy {policy!r} (expected 'sync', 'batch:N' with "
+        f"N >= 1, or 'interval:T' with T > 0 seconds)"
+    )
 
 
 class WalRecord:
@@ -20,10 +71,14 @@ class WalRecord:
 
     Records written as part of an atomic batch share a ``batch_id``; the
     batch's last record carries ``commit=True``.  Replay only surfaces a
-    batch whose commit record is intact.
+    batch whose commit record is intact.  ``synced`` is False while the
+    record sits in a group-commit buffer (not yet durable).
     """
 
-    __slots__ = ("seq", "key", "value", "value_bytes", "torn", "batch_id", "commit")
+    __slots__ = (
+        "seq", "key", "value", "value_bytes", "torn", "batch_id", "commit",
+        "synced",
+    )
 
     def __init__(self, seq: int, key: bytes, value, value_bytes: int) -> None:
         self.seq = seq
@@ -33,6 +88,7 @@ class WalRecord:
         self.torn = False
         self.batch_id = None
         self.commit = True
+        self.synced = True
 
     @property
     def frame_bytes(self) -> int:
@@ -46,31 +102,85 @@ class WalRecord:
 class WriteAheadLog:
     """Sequential, truncatable log of KV updates."""
 
-    def __init__(self, device, label: str = "wal") -> None:
+    def __init__(
+        self,
+        device,
+        label: str = "wal",
+        fsync_policy: str = "sync",
+        clock=None,
+    ) -> None:
         self.device = device
         self.label = label
         self._records: List[WalRecord] = []
         self.appended_bytes = 0
         self._next_batch_id = 1
+        self.fsync_policy = fsync_policy
+        self._mode, self._fsync_param = parse_fsync_policy(fsync_policy)
+        if self._mode == "interval" and clock is None:
+            raise ValueError(
+                f"fsync policy {fsync_policy!r} needs the shared clock"
+            )
+        self._clock = clock
+        self._pending: List[WalRecord] = []
+        self._window_start: Optional[float] = None
 
     def append(self, seq: int, key: bytes, value, value_bytes: int) -> float:
-        """Append one record; returns the simulated write duration."""
+        """Append one record; returns the simulated write duration.
+
+        Under a group-commit policy the duration is 0.0 for buffered
+        appends and the whole group's write time on the append that
+        triggers the flush.
+        """
         record = WalRecord(seq, key, value, value_bytes)
         self._records.append(record)
         frame = RECORD_HEADER_BYTES + len(key) + value_bytes
         self.appended_bytes += frame
-        self.device.allocate(frame)
-        return self.device.write(frame, sequential=True)
+        if self._mode == "sync":
+            self.device.allocate(frame)
+            return self.device.write(frame, sequential=True)
+        record.synced = False
+        self._pending.append(record)
+        if self._sync_due():
+            return self.sync()
+        return 0.0
+
+    def _sync_due(self) -> bool:
+        if self._mode == "batch":
+            return len(self._pending) >= int(self._fsync_param)
+        # interval: the flush window opens at the first buffered append.
+        if self._window_start is None:
+            self._window_start = self._clock.now
+        return self._clock.now >= self._window_start + self._fsync_param
+
+    def sync(self) -> float:
+        """Flush buffered records to the device; returns write duration.
+
+        A no-op (0.0) when nothing is buffered -- including always under
+        the ``sync`` policy.
+        """
+        if not self._pending:
+            self._window_start = None
+            return 0.0
+        total = 0
+        for record in self._pending:
+            record.synced = True
+            total += record.frame_bytes
+        self._pending = []
+        self._window_start = None
+        self.device.allocate(total)
+        return self.device.write(total, sequential=True)
 
     def append_batch(self, items) -> float:
         """Append an atomic batch of ``(seq, key, value, value_bytes)``.
 
         The batch commits with its final record; replay drops a batch
-        whose commit never made it to the log.  Returns the write
-        duration (one sequential write of all frames).
+        whose commit never made it to the log.  Acts as a commit barrier
+        under group-commit policies (buffered records flush first).
+        Returns the write duration (one sequential write of all frames).
         """
         if not items:
             return 0.0
+        barrier = self.sync()
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         total = 0
@@ -82,21 +192,31 @@ class WriteAheadLog:
             total += record.frame_bytes
         self.appended_bytes += total
         self.device.allocate(total)
-        return self.device.write(total, sequential=True)
+        return barrier + self.device.write(total, sequential=True)
 
     def truncate_through(self, seq: int) -> int:
         """Drop records with ``record.seq <= seq`` (data safely flushed).
 
-        Returns the number of bytes released on the device.
+        Returns the number of bytes released on the device.  Buffered
+        (unsynced) records are dropped without a release -- they never
+        occupied device bytes.
         """
         kept: List[WalRecord] = []
         freed = 0
+        dropped_pending = False
         for record in self._records:
             if record.seq <= seq:
-                freed += record.frame_bytes
+                if record.synced:
+                    freed += record.frame_bytes
+                else:
+                    dropped_pending = True
             else:
                 kept.append(record)
         self._records = kept
+        if dropped_pending:
+            self._pending = [r for r in self._pending if r.seq > seq]
+            if not self._pending:
+                self._window_start = None
         if freed:
             self.device.release(freed)
         return freed
@@ -112,16 +232,33 @@ class WriteAheadLog:
         for record in self._records[-count:]:
             record.torn = True
 
+    def crash_drop_unsynced(self) -> int:
+        """Lose every buffered (unsynced) record, as a crash would.
+
+        Returns the number of records dropped.  ``sync`` policy never
+        buffers, so there the call is a no-op returning 0.
+        """
+        if not self._pending:
+            return 0
+        dropped = len(self._pending)
+        self._records = [r for r in self._records if r.synced]
+        self._pending = []
+        self._window_start = None
+        return dropped
+
     def replay(self) -> Iterator[WalRecord]:
-        """Yield intact records in append order, stopping at a torn one.
+        """Yield intact durable records in append order, stopping at a torn one.
 
         Batch records are buffered until their commit record: a batch
         whose commit was torn away is dropped entirely (atomicity).
+        Unsynced records are skipped -- they were never durable.
         """
         pending: List[WalRecord] = []
         for record in self._records:
             if record.torn:
                 return
+            if not record.synced:
+                continue
             if record.batch_id is None:
                 yield record
                 continue
@@ -131,20 +268,40 @@ class WriteAheadLog:
                     yield buffered
                 pending = []
 
+    def records_since(self, seq: int) -> List[WalRecord]:
+        """Intact records with ``record.seq > seq``, in append order.
+
+        The replication layer's shipping cursor: the leader's group pulls
+        fresh frames with this after every acknowledged operation.
+        """
+        return [r for r in self._records if r.seq > seq and not r.torn]
+
     @property
     def record_count(self) -> int:
         """Records currently retained (not yet truncated)."""
         return len(self._records)
 
     @property
+    def pending_count(self) -> int:
+        """Buffered records awaiting a group-commit flush."""
+        return len(self._pending)
+
+    @property
     def live_bytes(self) -> int:
         """Bytes the log currently occupies on its device."""
-        return sum(r.frame_bytes for r in self._records)
+        return sum(r.frame_bytes for r in self._records if r.synced)
 
     def last_seq(self) -> Optional[int]:
         """Sequence number of the newest intact record, if any."""
         for record in reversed(self._records):
             if not record.torn:
+                return record.seq
+        return None
+
+    def last_synced_seq(self) -> Optional[int]:
+        """Sequence number of the newest durable record, if any."""
+        for record in reversed(self._records):
+            if not record.torn and record.synced:
                 return record.seq
         return None
 

@@ -1,0 +1,721 @@
+"""Replica groups: one leader + K followers with simulated WAL shipping.
+
+A :class:`ReplicaGroup` wraps K+1 full stores -- each on its own
+:class:`~repro.mem.system.HybridMemorySystem`, all sharing one simulated
+clock -- behind the single-store read/write surface.  Writes go to the
+leader; the leader's fresh WAL frames are pulled into the group's
+replicated log and shipped to each follower over a per-follower link
+device (latency + bandwidth charged through a ``repro.mem`` profile).
+Followers replay shipped frames through the existing WAL apply path
+(append to their own WAL, insert into their MemTable, rotating/flushing
+exactly like a recovering store would), so follower state converges to
+the leader's byte-for-byte.
+
+Three LSN watermarks order everything (LSN = 1-based index into the
+group's replicated log):
+
+- ``shipped_lsn`` -- frames handed to the link (in flight);
+- ``durable_lsn`` -- frames received and appended to the follower's WAL;
+- ``applied_lsn`` -- frames visible to reads on the follower.
+
+Acks (:data:`~repro.replication.config.ACK_POLICIES`) gate the write
+path on follower durability; replication lag is ``len(log) -
+applied_lsn`` per follower.
+
+Failover: killing the leader leaves the group leaderless until an
+election completes.  The election requires a majority of members alive
+(otherwise it stays blocked until a restart), picks the most-caught-up
+follower by ``durable_lsn`` with a deterministic tie-break toward the
+lowest replica id, truncates the replicated log to the winner's durable
+prefix (counting any acknowledged write that would be lost -- zero under
+quorum acks with majority elections), and replays the winner's tail: the
+election job is serialized on the winner's apply worker, so every
+already-shipped frame is applied before the new leader serves.
+"""
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.mem.device import Device
+from repro.obs.events import CAT_REPL
+from repro.persist.crash import PASSIVE_INJECTOR
+from repro.replication.config import (
+    ACK_LEADER,
+    READ_FOLLOWER_RYW,
+    READ_LEADER,
+    ReplicationConfig,
+)
+from repro.sim.stats import StatsRegistry
+
+ROLE_LEADER = "leader"
+ROLE_FOLLOWER = "follower"
+
+#: Attributes a store must expose for follower replay (the WAL apply
+#: path shared with crash recovery).
+_REQUIRED_STORE_ATTRS = ("wal", "memtable", "_rotate_memtable")
+
+
+class Session:
+    """Read-your-writes token: the last acked LSN per group.
+
+    Pass the same session to ``put`` and ``get`` and the
+    ``follower-ryw`` read policy will never serve a follower that has
+    not yet applied this session's last acknowledged write.
+    """
+
+    __slots__ = ("_last_write",)
+
+    def __init__(self) -> None:
+        self._last_write = {}
+
+    def note_write(self, group_id: int, lsn: int) -> None:
+        if lsn > self._last_write.get(group_id, 0):
+            self._last_write[group_id] = lsn
+
+    def required_lsn(self, group_id: int) -> int:
+        return self._last_write.get(group_id, 0)
+
+    def __repr__(self) -> str:
+        return f"Session({self._last_write})"
+
+
+class Replica:
+    """One group member: a full store on its own simulated machine."""
+
+    __slots__ = (
+        "replica_id", "store", "system", "link", "ship_worker",
+        "apply_worker", "alive", "role", "shipped_lsn", "durable_lsn",
+        "applied_lsn", "ship_job", "last_seq",
+    )
+
+    def __init__(self, replica_id: int, store, system, link) -> None:
+        self.replica_id = replica_id
+        self.store = store
+        self.system = system
+        self.link = link
+        self.ship_worker = None
+        self.apply_worker = None
+        self.alive = True
+        self.role = ROLE_FOLLOWER
+        self.shipped_lsn = 0
+        self.durable_lsn = 0
+        self.applied_lsn = 0
+        self.ship_job = None
+        self.last_seq = 0
+
+    def __repr__(self) -> str:
+        state = self.role if self.alive else "down"
+        return (
+            f"Replica({self.replica_id}, {state}, "
+            f"durable={self.durable_lsn}, applied={self.applied_lsn})"
+        )
+
+
+class ReplicaGroup:
+    """Leader + K followers behind the single-store API."""
+
+    def __init__(
+        self,
+        group_id: int,
+        clock,
+        factory: Callable[[int], Tuple[object, object]],
+        config: Optional[ReplicationConfig] = None,
+        stats: Optional[StatsRegistry] = None,
+        crash_injector=None,
+    ) -> None:
+        self.group_id = group_id
+        self.clock = clock
+        self.config = config or ReplicationConfig()
+        self._factory = factory
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.crash = crash_injector or PASSIVE_INJECTOR
+        #: The replicated log: leader WAL records by LSN (index + 1).
+        #: Retained in full so a rebuilt replacement node can bootstrap.
+        self.log: List = []
+        self.acked_lsn = 0
+        self.epoch = 0
+        self.elections = 0
+        self.leader_idx: Optional[int] = 0
+        #: Deterministic failover/kill/restart event list (chaos report).
+        self.history: List[dict] = []
+        #: Back-reference set by the cluster layer so failover can
+        #: repoint the shard at the new leader's store/system.
+        self.shard = None
+        self._pulled_seq = 0
+        self._rr = 0
+        self._election_pending = False
+        self._election_member: Optional[Replica] = None
+        self.members: List[Replica] = []
+        for rid in range(self.config.group_size):
+            self.members.append(self._make_member(rid))
+        self.members[0].role = ROLE_LEADER
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def build(
+        cls,
+        store_name: str = "miodb",
+        scale=None,
+        config: Optional[ReplicationConfig] = None,
+        ssd: bool = False,
+        group_id: int = 0,
+        stats: Optional[StatsRegistry] = None,
+        crash_injector=None,
+        clock=None,
+        **overrides,
+    ) -> "ReplicaGroup":
+        """A standalone group of ``store_name`` stores on one fresh clock."""
+        from repro.bench.factory import make_store
+        from repro.mem.system import HybridMemorySystem
+        from repro.sim.clock import SimClock
+
+        shared_clock = clock or SimClock()
+
+        def factory(rid: int):
+            if ssd:
+                system = HybridMemorySystem.with_ssd(clock=shared_clock)
+            else:
+                system = HybridMemorySystem(clock=shared_clock)
+            return make_store(
+                store_name, scale, system=system, ssd=ssd, **overrides
+            )
+
+        return cls(
+            group_id, shared_clock, factory, config,
+            stats=stats, crash_injector=crash_injector,
+        )
+
+    def _make_member(self, rid: int) -> Replica:
+        store, system = self._factory(rid)
+        for attr in _REQUIRED_STORE_ATTRS:
+            if not hasattr(store, attr):
+                raise ValueError(
+                    f"store {store.name!r} cannot be replicated: follower "
+                    f"replay needs {attr!r} (the WAL apply path)"
+                )
+        if not store.options.wal_enabled:
+            raise ValueError(
+                f"store {store.name!r} has wal_enabled=False; replication "
+                "ships WAL frames and needs the log"
+            )
+        link = Device(self.config.link_profile)
+        replica = Replica(rid, store, system, link)
+        replica.ship_worker = system.executor.worker(
+            f"repl-ship-g{self.group_id}-r{rid}"
+        )
+        replica.apply_worker = system.executor.worker(
+            f"repl-apply-g{self.group_id}-r{rid}"
+        )
+        return replica
+
+    # ---------------------------------------------------------- membership
+
+    @property
+    def election_pending(self) -> bool:
+        """True while a failover election job is in flight."""
+        return self._election_pending
+
+    @property
+    def leader(self) -> Optional[Replica]:
+        if self.leader_idx is None:
+            return None
+        return self.members[self.leader_idx]
+
+    @property
+    def system(self):
+        """The current leader's system (workload/Phase compatibility)."""
+        member = self.leader if self.leader_idx is not None else self.members[0]
+        return member.system
+
+    def alive_members(self) -> List[Replica]:
+        return [m for m in self.members if m.alive]
+
+    def alive_followers(self) -> List[Replica]:
+        return [
+            m for m in self.members
+            if m.alive and m.role == ROLE_FOLLOWER
+        ]
+
+    def lag(self) -> int:
+        """Worst replication lag (records) across live followers."""
+        followers = self.alive_followers()
+        if not followers:
+            return 0
+        return max(len(self.log) - f.applied_lsn for f in followers)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _settle_members(self) -> None:
+        for member in self.members:
+            if member.alive:
+                member.system.executor.settle()
+
+    def _next_completion(self) -> Optional[float]:
+        deadline = None
+        for member in self.members:
+            if not member.alive:
+                continue
+            end = member.system.executor.next_completion()
+            if end is not None and (deadline is None or end < deadline):
+                deadline = end
+        return deadline
+
+    def _advance_once(self, context: str) -> None:
+        """Advance the shared clock to the next member completion."""
+        deadline = self._next_completion()
+        if deadline is None:
+            self._pump_all()
+            deadline = self._next_completion()
+        if deadline is None:
+            raise RuntimeError(
+                f"replica group {self.group_id} stalled while {context}: "
+                "no pending work on any live member"
+            )
+        self.clock.advance_to(deadline)
+        self._settle_members()
+
+    def _await_leader(self) -> float:
+        """Block (advance simulated time) until the group has a leader."""
+        if self.leader_idx is not None:
+            return 0.0
+        start = self.clock.now
+        while self.leader_idx is None:
+            self._advance_once("awaiting leader election")
+        waited = self.clock.now - start
+        self.stats.add("repl.leader_wait_s", waited)
+        return waited
+
+    # ----------------------------------------------------------- write path
+
+    def put(self, key: bytes, value, session: Optional[Session] = None) -> float:
+        """Replicated insert/update; returns latency including ack wait."""
+        return self._write("put", key, value, session)
+
+    def delete(self, key: bytes, session: Optional[Session] = None) -> float:
+        """Replicated delete; returns latency including ack wait."""
+        return self._write("delete", key, None, session)
+
+    def _write(self, kind: str, key: bytes, value, session) -> float:
+        self._settle_members()
+        self._await_leader()
+        self.crash.reach("repl.put")
+        leader = self.members[self.leader_idx]
+        if kind == "put":
+            latency = leader.store.put(key, value)
+        else:
+            latency = leader.store.delete(key)
+        self._pull_from_leader(leader)
+        lsn = len(self.log)
+        wait = self._await_acks(lsn)
+        if lsn > self.acked_lsn:
+            self.acked_lsn = lsn
+        if session is not None:
+            session.note_write(self.group_id, lsn)
+        return latency + wait
+
+    def _pull_from_leader(self, leader: Replica) -> None:
+        """Move the leader's fresh WAL frames into the replicated log."""
+        fresh = leader.store.wal.records_since(self._pulled_seq)
+        if not fresh:
+            return
+        self.log.extend(fresh)
+        self._pulled_seq = fresh[-1].seq
+        if fresh[-1].seq > leader.last_seq:
+            leader.last_seq = fresh[-1].seq
+        leader.shipped_lsn = len(self.log)
+        leader.durable_lsn = len(self.log)
+        leader.applied_lsn = len(self.log)
+        self._pump_all()
+
+    def _await_acks(self, lsn: int) -> float:
+        needed = self.config.needed_follower_acks()
+        if needed == 0:
+            return 0.0
+        followers = self.alive_followers()
+        if len(followers) < needed:
+            # Degraded group: fewer live followers than the policy wants.
+            # Ack with what is there (availability over the policy) and
+            # count it so the chaos report surfaces the weakened window.
+            self.stats.add("repl.degraded_acks", 1)
+            needed = len(followers)
+            if needed == 0:
+                return 0.0
+        start = self.clock.now
+        while True:
+            durable = 0
+            for follower in followers:
+                if follower.alive and follower.durable_lsn >= lsn:
+                    durable += 1
+            if durable >= needed:
+                break
+            self._advance_once(f"awaiting {needed} ack(s) for lsn {lsn}")
+        waited = self.clock.now - start
+        if waited > 0.0:
+            self.stats.add("repl.ack_wait_s", waited)
+        return waited
+
+    # ------------------------------------------------------------- shipping
+
+    def _pump_all(self) -> None:
+        for member in self.members:
+            if member.role == ROLE_FOLLOWER:
+                self._pump(member)
+
+    def _pump(self, follower: Replica) -> None:
+        """Start the follower's next ship transfer if one is due."""
+        if (
+            not follower.alive
+            or follower.role != ROLE_FOLLOWER
+            or follower.ship_job is not None
+            or follower.shipped_lsn >= len(self.log)
+        ):
+            return
+        start = follower.shipped_lsn
+        end = min(len(self.log), start + self.config.ship_batch)
+        frames = self.log[start:end]
+        total = sum(r.frame_bytes for r in frames)
+        seconds = follower.link.write(total, sequential=True)
+        self.crash.reach("repl.ship")
+        epoch = self.epoch
+
+        def delivered() -> None:
+            follower.ship_job = None
+            if not follower.alive or self.epoch != epoch:
+                return
+            self._deliver(follower, frames, end)
+
+        follower.ship_job = follower.system.executor.submit(
+            follower.ship_worker,
+            seconds,
+            delivered,
+            name=f"repl-ship-g{self.group_id}-r{follower.replica_id}",
+            meta={
+                "cat": CAT_REPL,
+                "lsn": end,
+                "replica": follower.replica_id,
+                "bytes": total,
+            },
+        )
+        follower.shipped_lsn = end
+        self.stats.add("repl.shipped_records", end - start)
+        self.stats.add("repl.shipped_bytes", total)
+
+    def _deliver(self, follower: Replica, frames, end_lsn: int) -> None:
+        """Shipped frames arrived: append to the follower's WAL and apply.
+
+        The append/insert happen through the same WAL apply path crash
+        recovery uses, so follower flushes and compactions fire exactly
+        as they would on a recovering store.  Durability advances now;
+        read visibility (``applied_lsn``) advances when the apply job --
+        charged the replay's simulated cost -- completes.
+        """
+        store = follower.store
+        seconds = 0.0
+        for record in frames:
+            seconds += store.wal.append(
+                record.seq, record.key, record.value, record.value_bytes
+            )
+            if store.memtable.is_full:
+                store._rotate_memtable()
+            seconds += store.memtable.insert(
+                record.key, record.seq, record.value, record.value_bytes
+            )
+            if record.seq > follower.last_seq:
+                follower.last_seq = record.seq
+        if end_lsn > follower.durable_lsn:
+            follower.durable_lsn = end_lsn
+        self.crash.reach("repl.apply")
+        count = len(frames)
+
+        def applied() -> None:
+            if not follower.alive:
+                return
+            if end_lsn > follower.applied_lsn:
+                follower.applied_lsn = end_lsn
+            self.stats.add("repl.applied_records", count)
+            self.stats.max("repl.lag_peak", len(self.log) - follower.applied_lsn)
+            self._pump(follower)
+
+        follower.system.executor.submit(
+            follower.apply_worker,
+            seconds,
+            applied,
+            name=f"repl-apply-g{self.group_id}-r{follower.replica_id}",
+            meta={
+                "cat": CAT_REPL,
+                "lsn": end_lsn,
+                "replica": follower.replica_id,
+                "records": count,
+            },
+        )
+        # Ship/apply pipelining: the next transfer can start immediately.
+        self._pump(follower)
+
+    # ------------------------------------------------------------ read path
+
+    def get(
+        self, key: bytes, session: Optional[Session] = None
+    ) -> Tuple[Optional[object], float]:
+        """Policy-routed lookup; returns ``(value_or_None, latency)``."""
+        self._settle_members()
+        policy = self.config.read_policy
+        if policy == READ_LEADER:
+            self._await_leader()
+            return self.members[self.leader_idx].store.get(key)
+        follower = self._choose_follower()
+        if follower is None:
+            self._await_leader()
+            return self.members[self.leader_idx].store.get(key)
+        if policy == READ_FOLLOWER_RYW and session is not None:
+            target = min(session.required_lsn(self.group_id), len(self.log))
+            if not self._await_applied(follower, target):
+                self._await_leader()
+                return self.members[self.leader_idx].store.get(key)
+        return follower.store.get(key)
+
+    def _choose_follower(self) -> Optional[Replica]:
+        followers = self.alive_followers()
+        if not followers:
+            return None
+        follower = followers[self._rr % len(followers)]
+        self._rr += 1
+        return follower
+
+    def _await_applied(self, follower: Replica, target: int) -> bool:
+        """Block until ``follower.applied_lsn >= target``; False if it dies."""
+        start = self.clock.now
+        while follower.alive and follower.applied_lsn < target:
+            self._pump(follower)
+            deadline = self._next_completion()
+            if deadline is None:
+                return False
+            self.clock.advance_to(deadline)
+            self._settle_members()
+        if not follower.alive:
+            return False
+        waited = self.clock.now - start
+        if waited > 0.0:
+            self.stats.add("repl.ryw_wait_s", waited)
+        return True
+
+    def scan(self, start_key: bytes, count: int):
+        """Range query on the leader (linearizable)."""
+        self._settle_members()
+        self._await_leader()
+        return self.members[self.leader_idx].store.scan(start_key, count)
+
+    def items(self, start_key: bytes = b"\x00", end_key=None, page_size: int = 128):
+        """Iterate live ``(key, value)`` pairs from the leader in key order."""
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        cursor = start_key
+        while True:
+            pairs, __ = self.scan(cursor, page_size)
+            for key, value in pairs:
+                if end_key is not None and key >= end_key:
+                    return
+                yield key, value
+            if len(pairs) < page_size:
+                return
+            cursor = pairs[-1][0] + b"\x00"
+
+    # ------------------------------------------------------------- failover
+
+    def crash_replica(self, replica_id: int) -> None:
+        """Kill one member: drop its pending work, trigger failover."""
+        member = self.members[replica_id]
+        if not member.alive:
+            return
+        member.alive = False
+        member.system.executor.crash_reset()
+        member.ship_job = None
+        self.stats.add("repl.kills", 1)
+        self.history.append({
+            "t": self.clock.now,
+            "event": "kill",
+            "group": self.group_id,
+            "replica": replica_id,
+            "role": member.role,
+        })
+        if self._election_member is member:
+            # The winner died mid-election; the pending election job was
+            # cancelled with its executor.
+            self._election_pending = False
+            self._election_member = None
+        if self.leader_idx == replica_id:
+            self.leader_idx = None
+            member.role = ROLE_FOLLOWER
+        if self.leader_idx is None:
+            self._maybe_elect()
+
+    def _maybe_elect(self) -> None:
+        if self.leader_idx is not None or self._election_pending:
+            return
+        alive = self.alive_members()
+        if len(alive) < self.config.quorum_size:
+            self.history.append({
+                "t": self.clock.now,
+                "event": "election-blocked",
+                "group": self.group_id,
+                "alive": len(alive),
+                "quorum": self.config.quorum_size,
+            })
+            return
+        # Most-caught-up wins; ties break toward the lowest replica id.
+        winner = alive[0]
+        for member in alive[1:]:
+            if member.durable_lsn > winner.durable_lsn:
+                winner = member
+        lost = self.acked_lsn - winner.durable_lsn
+        if lost > 0:
+            self.stats.add("repl.acked_lost", lost)
+            self.acked_lsn = winner.durable_lsn
+        truncated = len(self.log) - winner.durable_lsn
+        if truncated > 0:
+            del self.log[winner.durable_lsn:]
+            self.stats.add("repl.truncated_records", truncated)
+        self.epoch += 1
+        for member in alive:
+            if member is not winner:
+                member.shipped_lsn = member.durable_lsn
+                member.ship_job = None
+        self._election_pending = True
+        self._election_member = winner
+
+        def elected() -> None:
+            self._election_pending = False
+            self._election_member = None
+            if not winner.alive:
+                self._maybe_elect()
+                return
+            winner.role = ROLE_LEADER
+            self.leader_idx = winner.replica_id
+            if winner.last_seq > winner.store.seq:
+                winner.store.seq = winner.last_seq
+            self._pulled_seq = winner.last_seq
+            self.elections += 1
+            self.stats.add("repl.elections", 1)
+            self.history.append({
+                "t": self.clock.now,
+                "event": "elect",
+                "group": self.group_id,
+                "replica": winner.replica_id,
+                "durable_lsn": winner.durable_lsn,
+                "epoch": self.epoch,
+            })
+            if self.shard is not None:
+                self.shard.store = winner.store
+                self.shard.system = winner.system
+            self._pump_all()
+
+        # Serialized on the winner's apply worker: every frame already
+        # shipped to the winner is applied (its tail replay) before it
+        # takes over as leader.
+        winner.system.executor.submit(
+            winner.apply_worker,
+            self.config.election_timeout_s,
+            elected,
+            name=f"repl-elect-g{self.group_id}-r{winner.replica_id}",
+            meta={
+                "cat": CAT_REPL,
+                "replica": winner.replica_id,
+                "durable_lsn": winner.durable_lsn,
+            },
+        )
+
+    def restart_replica(self, replica_id: int) -> None:
+        """Bring a killed member back as a fresh replacement node.
+
+        The replacement bootstraps from LSN 0 out of the retained
+        replicated log (the simulation's stand-in for a snapshot +
+        catch-up transfer), so it rejoins with no divergence regardless
+        of what its previous incarnation held.
+        """
+        member = self.members[replica_id]
+        if member.alive:
+            return
+        store, system = self._factory(replica_id)
+        member.store = store
+        member.system = system
+        member.link = Device(self.config.link_profile)
+        member.ship_worker = system.executor.worker(
+            f"repl-ship-g{self.group_id}-r{replica_id}"
+        )
+        member.apply_worker = system.executor.worker(
+            f"repl-apply-g{self.group_id}-r{replica_id}"
+        )
+        member.alive = True
+        member.role = ROLE_FOLLOWER
+        member.shipped_lsn = 0
+        member.durable_lsn = 0
+        member.applied_lsn = 0
+        member.ship_job = None
+        member.last_seq = 0
+        self.stats.add("repl.restarts", 1)
+        self.history.append({
+            "t": self.clock.now,
+            "event": "restart",
+            "group": self.group_id,
+            "replica": replica_id,
+        })
+        if self.leader_idx is None:
+            self._maybe_elect()
+        self._pump(member)
+
+    # ------------------------------------------------------------- draining
+
+    def catch_up(self) -> float:
+        """Run until every live follower has applied the whole log."""
+        self._await_leader()
+        start = self.clock.now
+        while True:
+            lagging = [
+                f for f in self.alive_followers()
+                if f.applied_lsn < len(self.log)
+            ]
+            if not lagging:
+                break
+            self._advance_once("catching followers up")
+        return self.clock.now - start
+
+    def quiesce(self) -> float:
+        """Drain background work on every live member."""
+        while True:
+            pending = False
+            for member in self.members:
+                if member.alive and member.system.executor.pending:
+                    member.system.executor.drain()
+                    pending = True
+            if not pending:
+                return self.clock.now
+
+    def snapshot(self) -> dict:
+        """Deterministic metrics document for this group."""
+        return {
+            "group": self.group_id,
+            "leader": self.leader_idx,
+            "ack": self.config.ack_policy,
+            "read_policy": self.config.read_policy,
+            "log_lsn": len(self.log),
+            "acked_lsn": self.acked_lsn,
+            "epoch": self.epoch,
+            "elections": self.elections,
+            "members": [
+                {
+                    "replica": m.replica_id,
+                    "role": m.role if m.alive else "down",
+                    "alive": m.alive,
+                    "shipped_lsn": m.shipped_lsn,
+                    "durable_lsn": m.durable_lsn,
+                    "applied_lsn": m.applied_lsn,
+                    "lag": len(self.log) - m.applied_lsn,
+                }
+                for m in self.members
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaGroup({self.group_id}, K={self.config.followers}, "
+            f"leader={self.leader_idx}, lsn={len(self.log)})"
+        )

@@ -33,6 +33,8 @@ KEY_FAMILIES: Dict[str, str] = {
                "rebalances, migrated_keys, migrated_bytes",
     "live": "live telemetry plane: ops_seen, ops_retained, windows, "
             "flight_dumps (flushed once at recorder detach)",
+    "repl": "replication: shipped/applied records, ack_wait_s, lag peaks, "
+            "elections, kills, restarts, degraded-quorum acks",
 }
 
 

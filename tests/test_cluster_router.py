@@ -1,10 +1,21 @@
 """Tests for the cluster topology and the shard router."""
 
+import math
+
 import pytest
 
 from repro.bench.config import BenchScale
-from repro.cluster import Cluster, HashRingPlacement, ShardRouter
+from repro.cluster import (
+    DROP_NO_LEADER,
+    AdmissionControl,
+    ClientSpec,
+    Cluster,
+    HashRingPlacement,
+    ShardRouter,
+    run_cluster,
+)
 from repro.kvstore.values import SizedValue
+from repro.replication import READ_FOLLOWER_RYW, ReplicationConfig
 from repro.workloads.keys import key_for
 
 pytestmark = pytest.mark.cluster_smoke
@@ -107,6 +118,96 @@ def test_quiesce_drains_every_shard():
     router.quiesce()
     for shard in router.cluster.shards:
         assert not shard.system.executor.pending
+
+
+def make_replicated_router(n_shards=2, followers=2, **config_kwargs):
+    config = ReplicationConfig(followers=followers, **config_kwargs)
+    cluster = Cluster("miodb", n_shards=n_shards, scale=SCALE, replication=config)
+    return ShardRouter(cluster)
+
+
+def test_replicated_router_routes_through_groups():
+    router = make_replicated_router()
+    assert all(shard.group is not None for shard in router.cluster.shards)
+    for i in range(200):
+        router.put(key_for(i), SizedValue(i, 256))
+    router.quiesce()
+    for i in range(200):
+        value, __ = router.get(key_for(i))
+        assert value is not None and value.tag == i, i
+    pairs, __ = router.scan(key_for(0), 200)
+    assert len(pairs) == 200
+
+
+def test_replicated_router_session_reads_own_writes():
+    router = make_replicated_router(read_policy=READ_FOLLOWER_RYW)
+    session = router.session()
+    for i in range(60):
+        router.put(key_for(i), SizedValue(i, 256), session=session)
+        value, __ = router.get(key_for(i), session=session)
+        assert value is not None and value.tag == i, i
+
+
+def test_router_blocks_through_pending_election():
+    router = make_replicated_router()
+    for i in range(50):
+        router.put(key_for(i), SizedValue(i, 256))
+    for group in router.cluster.groups:
+        group.catch_up()
+    victim = router.cluster.groups[0]
+    victim.crash_replica(victim.leader_idx)
+    assert victim.election_pending
+    # Direct router ops on the electing shard block through the
+    # election (simulated time is charged) and then succeed.
+    for i in range(50, 100):
+        router.put(key_for(i), SizedValue(i, 256))
+    assert victim.leader_idx is not None
+    router.quiesce()
+    for i in range(100):
+        value, __ = router.get(key_for(i))
+        assert value is not None and value.tag == i, i
+
+
+def _kill_below_majority(group):
+    """Leave one alive member: below the quorum of 2, election blocked."""
+    alive = [m.replica_id for m in group.alive_members()]
+    group.crash_replica(group.leader_idx)
+    for rid in alive:
+        if len(list(group.alive_members())) <= 1:
+            break
+        if group.members[rid].alive:
+            group.crash_replica(rid)
+    assert group.leader_idx is None and not group.election_pending
+
+
+def test_leaderless_shard_sheds_with_no_leader_cause():
+    router = make_replicated_router(n_shards=2, followers=2)
+    for group in router.cluster.groups:
+        _kill_below_majority(group)
+    spec = ClientSpec(n_ops=100, rate_per_s=math.inf, key_space=200, seed=1)
+    result = run_cluster(
+        router, [spec], admission=AdmissionControl(policy="reject")
+    )
+    # Every request ends as an accounted no_leader drop -- never silent.
+    assert result.completed == 0
+    assert result.drops.get(DROP_NO_LEADER) == result.offered
+    assert result.completed + result.dropped == result.offered
+
+
+def test_leaderless_shard_defers_before_shedding():
+    router = make_replicated_router(n_shards=2, followers=2)
+    _kill_below_majority(router.cluster.groups[0])
+    spec = ClientSpec(n_ops=100, rate_per_s=math.inf, key_space=200, seed=1)
+    result = run_cluster(
+        router,
+        [spec],
+        admission=AdmissionControl(policy="defer", max_retries=2),
+    )
+    # The healthy shard serves; the dead shard defers then sheds.
+    assert result.completed > 0
+    assert result.drops.get(DROP_NO_LEADER, 0) > 0
+    assert router.cluster.stats.get("cluster.deferred") > 0
+    assert result.completed + result.dropped == result.offered
 
 
 def test_range_placement_router():

@@ -245,3 +245,127 @@ def test_rearm_sequencing_across_executor_jobs():
     )
     crash = _drive_until_crash(recovered)
     assert crash is not None and crash.point == "flush.after_swizzle"
+
+
+def test_rearm_resets_pending_hit_count():
+    """Regression: ``arm()`` aims at *cumulative* hits, so re-arming a
+    point that had already taken hits below its old threshold fired
+    earlier than intended on reuse.  ``rearm()`` zeroes the pending
+    count first -- chaos schedules reuse one injector across rounds."""
+    injector = CrashInjector()
+    injector.arm("p", after_hits=2)
+    injector.reach("p")  # hit 1 of 2: pending
+    injector.rearm("p", after_hits=2)
+    injector.reach("p")  # hit 1 of 2 again: must survive
+    with pytest.raises(SimulatedCrash):
+        injector.reach("p")
+
+
+def test_rearm_after_fire_is_fresh_one_shot():
+    injector = CrashInjector()
+    injector.arm("p")
+    with pytest.raises(SimulatedCrash):
+        injector.reach("p")
+    injector.rearm("p")
+    with pytest.raises(SimulatedCrash):
+        injector.reach("p")
+    assert injector.hits("p") == 1  # counts restarted from zero
+
+
+def test_rearm_validation():
+    with pytest.raises(ValueError):
+        CrashInjector().rearm("p", after_hits=0)
+
+
+def test_reset_clears_one_point_or_all():
+    injector = CrashInjector()
+    injector.arm("a", after_hits=3)
+    injector.reach("a")
+    injector.reset("a")
+    assert injector.hits("a") == 0
+    injector.reach("a")
+    injector.reach("a")
+    injector.reach("a")  # disarmed: never fires
+    injector.arm("b")
+    injector.reach("x")
+    injector.reset()
+    assert injector.hits("x") == 0
+    injector.reach("b")  # cleared by the full reset
+
+
+# --------------------------------------------------- WAL fsync policies
+
+
+def test_parse_fsync_policy():
+    from repro.persist.wal import parse_fsync_policy
+
+    assert parse_fsync_policy("sync") == ("sync", 0.0)
+    assert parse_fsync_policy("batch:8") == ("batch", 8.0)
+    assert parse_fsync_policy("interval:0.001") == ("interval", 0.001)
+    for bad in ("batch", "batch:0", "interval:-1", "fsync", "batch:x"):
+        with pytest.raises(ValueError):
+            parse_fsync_policy(bad)
+
+
+def test_batch_fsync_groups_device_writes(nvm):
+    wal = WriteAheadLog(nvm, fsync_policy="batch:3")
+    assert wal.append(1, b"a", b"v", 1) == 0.0
+    assert wal.append(2, b"b", b"v", 1) == 0.0
+    assert wal.pending_count == 2
+    assert nvm.bytes_written == 0
+    cost = wal.append(3, b"c", b"v", 1)  # third buffered record: group commit
+    assert cost > 0.0
+    assert wal.pending_count == 0
+    assert nvm.bytes_written == 3 * (RECORD_HEADER_BYTES + 1 + 1)
+    assert wal.last_synced_seq() == 3
+
+
+def test_unsynced_records_do_not_survive_a_crash(nvm):
+    wal = WriteAheadLog(nvm, fsync_policy="batch:4")
+    wal.append(1, b"a", b"v", 1)
+    wal.append(2, b"b", b"v", 1)
+    wal.sync()
+    wal.append(3, b"c", b"v", 1)  # buffered, never synced
+    assert [r.seq for r in wal.replay()] == [1, 2]  # replay skips unsynced
+    assert wal.crash_drop_unsynced() == 1
+    assert [r.seq for r in wal.replay()] == [1, 2]
+    assert wal.record_count == 2
+
+
+def test_interval_fsync_follows_the_clock():
+    from repro.sim.clock import SimClock
+
+    clock = SimClock()
+    nvm = Device(OPTANE_NVM_PROFILE)
+    wal = WriteAheadLog(nvm, fsync_policy="interval:0.001", clock=clock)
+    assert wal.append(1, b"a", b"v", 1) == 0.0
+    clock.advance(0.0005)
+    assert wal.append(2, b"b", b"v", 1) == 0.0  # window still open
+    clock.advance(0.0006)
+    assert wal.append(3, b"c", b"v", 1) > 0.0  # window expired: commit
+    assert wal.pending_count == 0
+    assert wal.last_synced_seq() == 3
+
+
+def test_interval_fsync_requires_a_clock(nvm):
+    with pytest.raises(ValueError):
+        WriteAheadLog(nvm, fsync_policy="interval:0.001")
+
+
+def test_truncate_prunes_unsynced_pending(nvm):
+    wal = WriteAheadLog(nvm, fsync_policy="batch:10")
+    wal.append(1, b"a", b"v", 1)
+    wal.sync()
+    wal.append(2, b"b", b"v", 1)
+    wal.truncate_through(2)  # covers the buffered record too
+    assert wal.pending_count == 0
+    assert wal.record_count == 0
+
+
+def test_records_since_is_a_shipping_cursor(nvm):
+    wal = WriteAheadLog(nvm)
+    for i in range(5):
+        wal.append(i + 1, b"k%d" % i, b"v", 1)
+    assert [r.seq for r in wal.records_since(0)] == [1, 2, 3, 4, 5]
+    assert [r.seq for r in wal.records_since(3)] == [4, 5]
+    assert wal.records_since(5) == []

@@ -1,0 +1,292 @@
+"""Tests for replica groups: shipping, acks, reads, failover."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.config import BenchScale
+from repro.bench.factory import make_store
+from repro.kvstore.values import SizedValue
+from repro.persist.crash import CrashInjector, SimulatedCrash
+from repro.replication import (
+    ACK_ALL,
+    ACK_LEADER,
+    ACK_QUORUM,
+    READ_FOLLOWER_EVENTUAL,
+    READ_FOLLOWER_RYW,
+    ReplicaGroup,
+    ReplicationConfig,
+    Session,
+)
+from repro.workloads.keys import key_for
+
+KB = 1 << 10
+SCALE = BenchScale(memtable_bytes=8 * KB, dataset_bytes=1 << 20, value_size=256)
+
+
+def make_group(followers=2, store_name="miodb", **config_kwargs):
+    config = ReplicationConfig(followers=followers, **config_kwargs)
+    return ReplicaGroup.build(store_name, SCALE, config=config)
+
+
+# ------------------------------------------------------------ configuration
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ReplicationConfig(followers=-1)
+    with pytest.raises(ValueError):
+        ReplicationConfig(ack_policy="paxos")
+    with pytest.raises(ValueError):
+        ReplicationConfig(read_policy="nearest")
+    with pytest.raises(ValueError):
+        ReplicationConfig(ship_batch=0)
+    with pytest.raises(ValueError):
+        ReplicationConfig(election_timeout_s=0.0)
+
+
+def test_quorum_math():
+    assert ReplicationConfig(followers=0).quorum_size == 1
+    assert ReplicationConfig(followers=2).quorum_size == 2
+    assert ReplicationConfig(followers=4).quorum_size == 3
+    assert ReplicationConfig(followers=2, ack_policy=ACK_LEADER).needed_follower_acks() == 0
+    assert ReplicationConfig(followers=2, ack_policy=ACK_QUORUM).needed_follower_acks() == 1
+    assert ReplicationConfig(followers=2, ack_policy=ACK_ALL).needed_follower_acks() == 2
+
+
+def test_unreplicable_stores_are_rejected():
+    # novelsm-nosst has no WAL at all; novelsm replays into a persistent
+    # MemTable the generic apply path does not drive.
+    for name in ("novelsm", "novelsm-nosst"):
+        with pytest.raises(ValueError):
+            make_group(followers=1, store_name=name)
+
+
+# ------------------------------------------------------- shipping and acks
+
+
+def test_followers_converge_after_catch_up():
+    group = make_group(followers=2)
+    for i in range(200):
+        group.put(key_for(i), SizedValue(i, 256))
+    group.delete(key_for(3))
+    group.catch_up()
+    group.quiesce()
+    assert group.lag() == 0
+    leader_state = dict(group.items())
+    assert key_for(3) not in leader_state
+    for follower in group.alive_followers():
+        assert dict(follower.store.items()) == leader_state
+
+
+def test_ack_quorum_bounds_follower_lag():
+    group = make_group(followers=2, ack_policy=ACK_QUORUM)
+    bound = 2 * group.config.ship_batch
+    for i in range(150):
+        group.put(key_for(i), SizedValue(i, 256))
+        durable = sorted(f.durable_lsn for f in group.alive_followers())
+        # Quorum ack: at least one follower holds the write durably.
+        assert durable[-1] >= len(group.log)
+        assert group.lag() <= bound
+    assert group.stats.get("repl.lag_peak") <= bound
+
+
+def test_ack_all_waits_for_every_follower():
+    group = make_group(followers=2, ack_policy=ACK_ALL)
+    for i in range(60):
+        group.put(key_for(i), SizedValue(i, 256))
+        assert all(
+            f.durable_lsn >= len(group.log) for f in group.alive_followers()
+        )
+
+
+def test_ack_leader_never_waits():
+    group = make_group(followers=2, ack_policy=ACK_LEADER)
+    for i in range(60):
+        group.put(key_for(i), SizedValue(i, 256))
+    assert "repl.ack_wait_s" not in group.stats
+    group.catch_up()
+    assert group.lag() == 0
+
+
+def test_k0_group_is_fingerprint_identical_to_flat_store():
+    group = make_group(followers=0, ack_policy=ACK_LEADER)
+    store, system = make_store("miodb", SCALE)
+    for i in range(200):
+        group.put(key_for(i), SizedValue(i, 256))
+        store.put(key_for(i), SizedValue(i, 256))
+    for i in range(200):
+        group.get(key_for(i))
+        store.get(key_for(i))
+    group.quiesce()
+    store.quiesce()
+    assert group.clock.now == system.clock.now
+
+
+# ----------------------------------------------------------------- failover
+
+
+def test_leader_kill_elects_most_caught_up_follower():
+    group = make_group(followers=2)
+    for i in range(100):
+        group.put(key_for(i), SizedValue(i, 256))
+    group.catch_up()  # both followers equally caught up
+    group.crash_replica(0)
+    assert group.leader_idx is None and group.election_pending
+    # The next write blocks through the election; lowest id breaks the tie.
+    group.put(key_for(100), SizedValue(100, 256))
+    assert group.leader_idx == 1
+    assert group.members[1].role == "leader"
+    assert group.elections == 1
+    assert group.stats.get("repl.acked_lost") == 0.0
+    group.catch_up()
+    value, __ = group.get(key_for(42))
+    assert value is not None and value.tag == 42
+
+
+def test_failover_is_deterministic():
+    def run():
+        group = make_group(followers=2)
+        for i in range(80):
+            group.put(key_for(i), SizedValue(i, 256))
+        group.crash_replica(0)
+        for i in range(80, 120):
+            group.put(key_for(i), SizedValue(i, 256))
+        group.catch_up()
+        group.quiesce()
+        return group.leader_idx, group.clock.now, list(group.history)
+
+    leader_a, clock_a, history_a = run()
+    leader_b, clock_b, history_b = run()
+    assert leader_a == leader_b
+    assert clock_a == clock_b
+    assert history_a == history_b
+
+
+def test_crash_injector_kills_leader_mid_run():
+    injector = CrashInjector()
+    config = ReplicationConfig(followers=2)
+    group = ReplicaGroup.build(
+        "miodb", SCALE, config=config, crash_injector=injector
+    )
+    injector.arm("repl.put", after_hits=50)
+    crashed_at = None
+    for i in range(120):
+        try:
+            group.put(key_for(i), SizedValue(i, 256))
+        except SimulatedCrash as crash:
+            assert crash.point == "repl.put"
+            crashed_at = i
+            group.crash_replica(group.leader_idx)
+            group.put(key_for(i), SizedValue(i, 256))  # blocks, then serves
+    assert crashed_at is not None
+    assert group.leader_idx == 1
+    group.catch_up()
+    leader_state = dict(group.items())
+    for follower in group.alive_followers():
+        assert dict(follower.store.items()) == leader_state
+
+
+def test_election_blocked_below_majority_until_restart():
+    group = make_group(followers=2)
+    for i in range(40):
+        group.put(key_for(i), SizedValue(i, 256))
+    group.catch_up()
+    group.crash_replica(1)
+    group.crash_replica(0)  # leader down, one live member < quorum of 2
+    assert group.leader_idx is None and not group.election_pending
+    assert any(e["event"] == "election-blocked" for e in group.history)
+    group.restart_replica(1)
+    assert group.election_pending
+    group.put(key_for(40), SizedValue(40, 256))
+    assert group.leader_idx is not None
+    group.catch_up()
+    assert dict(group.items())[key_for(40)].tag == 40
+
+
+def test_restarted_follower_rebuilds_from_the_group_log():
+    group = make_group(followers=2)
+    for i in range(60):
+        group.put(key_for(i), SizedValue(i, 256))
+    group.crash_replica(2)
+    for i in range(60, 120):
+        group.put(key_for(i), SizedValue(i, 256))
+    group.restart_replica(2)
+    assert group.members[2].durable_lsn == 0  # fresh replacement node
+    group.catch_up()
+    assert dict(group.members[2].store.items()) == dict(group.items())
+
+
+# --------------------------------------------------------------- read paths
+
+
+def test_follower_eventual_reads_round_robin():
+    group = make_group(
+        followers=2, read_policy=READ_FOLLOWER_EVENTUAL, ack_policy=ACK_ALL
+    )
+    for i in range(80):
+        group.put(key_for(i), SizedValue(i, 256))
+    group.catch_up()
+    for i in range(80):
+        value, __ = group.get(key_for(i))
+        assert value is not None and value.tag == i
+
+
+def test_follower_ryw_sees_own_write_immediately():
+    group = make_group(followers=2, read_policy=READ_FOLLOWER_RYW)
+    session = Session()
+    for i in range(50):
+        group.put(key_for(i), SizedValue(i, 256), session=session)
+        value, __ = group.get(key_for(i), session=session)
+        assert value is not None and value.tag == i, i
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=1, max_value=2**31),
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=31)),
+        min_size=1,
+        max_size=60,
+    ),
+)
+def test_follower_ryw_never_stale_for_own_writes(seed, ops):
+    """Property: under follower-ryw a session's reads always reflect its
+    own latest acknowledged write, whatever the seeded history."""
+    from repro.sim.rng import XorShiftRng
+
+    rng = XorShiftRng(seed)
+    group = make_group(
+        followers=2, read_policy=READ_FOLLOWER_RYW,
+        ack_policy=ACK_LEADER,  # weakest acks: followers lag the most
+    )
+    session = Session()
+    model = {}
+    version = 0
+    for is_put, key_index in ops:
+        key = key_for(key_index)
+        if is_put or key not in model:
+            version += 1
+            value = SizedValue((key_index, version), 256)
+            group.put(key, value, session=session)
+            model[key] = value
+            # Occasionally stack unacked writes before reading back.
+            if rng.next_float() < 0.5:
+                continue
+        value, __ = group.get(key, session=session)
+        assert value is model[key]
+
+
+# ------------------------------------------------------------ observability
+
+
+def test_group_snapshot_reports_roles_and_lag():
+    group = make_group(followers=2)
+    for i in range(30):
+        group.put(key_for(i), SizedValue(i, 256))
+    doc = group.snapshot()
+    assert doc["leader"] == 0
+    assert doc["log_lsn"] == 31 or doc["log_lsn"] == 30
+    roles = [m["role"] for m in doc["members"]]
+    assert roles.count("leader") == 1
+    assert all(m["lag"] >= 0 for m in doc["members"])

@@ -1,0 +1,71 @@
+"""Seeded chaos scenarios: kill/restart replicas mid-workload and check
+flat-store oracle equivalence plus zero acked-write loss."""
+
+import pytest
+
+from repro.bench.config import BenchScale
+from repro.replication import (
+    ACK_QUORUM,
+    READ_FOLLOWER_EVENTUAL,
+    READ_FOLLOWER_RYW,
+    ChaosSchedule,
+    chaos_report_json,
+    run_chaos,
+)
+
+pytestmark = pytest.mark.chaos_smoke
+
+KB = 1 << 10
+SCALE = BenchScale(memtable_bytes=8 * KB, dataset_bytes=1 << 20, value_size=256)
+
+
+def run(store_name, seed, **kwargs):
+    kwargs.setdefault("ops", 300)
+    kwargs.setdefault("kills", 3)
+    return run_chaos(store_name, seed=seed, scale=SCALE, **kwargs)
+
+
+@pytest.mark.parametrize("store_name", ["miodb", "leveldb"])
+@pytest.mark.parametrize("seed", [3, 7, 42])
+def test_chaos_oracle_equivalence(store_name, seed):
+    report = run(store_name, seed)
+    assert report["checks"]["no_acked_loss"], report["checks"]
+    assert report["checks"]["oracle_match"], report["checks"]
+    assert report["checks"]["followers_match"], report["checks"]
+    assert report["ok"]
+    assert len(report["fired"]) >= 1  # the schedule actually killed something
+    dropped = sum(report["drops"].values())
+    assert report["completed"] + dropped == report["offered"]
+
+
+@pytest.mark.parametrize(
+    "read_policy", [READ_FOLLOWER_EVENTUAL, READ_FOLLOWER_RYW]
+)
+def test_chaos_with_follower_reads(read_policy):
+    report = run("miodb", 11, read_policy=read_policy)
+    assert report["ok"], report["checks"]
+
+
+def test_chaos_reports_are_byte_identical_across_runs():
+    first = chaos_report_json(run("miodb", 7))
+    second = chaos_report_json(run("miodb", 7))
+    assert first == second
+
+
+def test_chaos_reports_differ_across_seeds():
+    assert chaos_report_json(run("miodb", 3)) != chaos_report_json(run("miodb", 7))
+
+
+def test_chaos_schedule_generation_is_deterministic():
+    sched_a = ChaosSchedule.generate(seed=5, n_groups=2, kills=4)
+    sched_b = ChaosSchedule.generate(seed=5, n_groups=2, kills=4)
+    assert [
+        (e.at, e.group, e.target) for e in sched_a.events
+    ] == [(e.at, e.group, e.target) for e in sched_b.events]
+    assert len({e.at for e in sched_a.events}) == 4  # distinct kill points
+
+
+def test_quorum_acks_survive_every_fired_kill():
+    report = run("matrixkv", 13, ack_policy=ACK_QUORUM, kills=4, ops=400)
+    assert report["acked_lost"] == 0
+    assert report["ok"], report["checks"]
