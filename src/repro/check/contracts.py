@@ -49,7 +49,7 @@ ENGINE_HOOKS = ("_put", "_get", "_scan", "_batch_lookup")
 #: :func:`schema_fingerprint`).  Update deliberately, together with
 #: docs/observability.md and the pinned traces in tests/test_obs_schema.py.
 PINNED_EVENT_SCHEMA = (
-    "07469758d6ca52a24906556eee0429f6c35a04ca5c47df5f162ec791c03eeeba"
+    "7f4d3bfc6425a024feeda57e0df3909020e4b97fd2d405b236bd8fc66ad4c7b4"
 )
 
 
@@ -198,7 +198,8 @@ def check_store_class(cls: type, name: Optional[str] = None) -> List[Finding]:
 
 
 def schema_fingerprint(
-    slots=None, categories=None, stall_causes=None, drop_causes=None
+    slots=None, categories=None, stall_causes=None, drop_causes=None,
+    repl_names=None,
 ) -> str:
     """SHA-256 over the canonical trace-event schema description.
 
@@ -209,15 +210,18 @@ def schema_fingerprint(
     from repro.obs.events import (
         CATEGORIES,
         DROP_CAUSES,
+        REPL_EVENT_NAMES,
         STALL_CAUSES,
         TraceEvent,
     )
 
+    names = REPL_EVENT_NAMES if repl_names is None else repl_names
     description = repr((
         tuple(TraceEvent.__slots__ if slots is None else slots),
         tuple(CATEGORIES if categories is None else categories),
         tuple(sorted(STALL_CAUSES if stall_causes is None else stall_causes)),
         tuple(DROP_CAUSES if drop_causes is None else drop_causes),
+        tuple((cat, tuple(names[cat])) for cat in sorted(names)),
     ))
     return hashlib.sha256(description.encode()).hexdigest()
 

@@ -39,7 +39,7 @@ import re
 from typing import Dict, List, Optional, Tuple
 
 from repro.check.report import SEV_ERROR, SEV_WARNING, Finding, sort_findings
-from repro.obs.events import DROP_CAUSES, STALL_CAUSES
+from repro.obs.events import CATEGORIES, DROP_CAUSES, STALL_CAUSES
 from repro.sim.stats import KEY_FAMILIES
 
 
@@ -72,8 +72,8 @@ RULES: Dict[str, Rule] = {
              "iteration over a set; hash order is not part of the "
              "determinism contract -- sort it or keep a list/dict"),
         Rule("VOC001", SEV_ERROR,
-             "stall/drop cause literal outside the closed vocabularies "
-             "in repro.obs.events"),
+             "stall/drop cause or trace-category literal outside the "
+             "closed vocabularies in repro.obs.events"),
         Rule("STAT001", SEV_ERROR,
              "stats key family not registered in "
              "repro.sim.stats.KEY_FAMILIES"),
@@ -267,6 +267,20 @@ class _LintVisitor(ast.NodeVisitor):
                         "VOC001", node,
                         f"stall cause {cause!r} is not in "
                         "repro.obs.events.STALL_CAUSES",
+                    )
+        # Trace-category literals at span/instant emission sites: the
+        # third positional argument is the category, and only the
+        # closed vocabulary keeps analyzers and fingerprints total.
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "span", "instant"
+        ):
+            if len(node.args) >= 3:
+                cat = _const_str(node.args[2])
+                if cat is not None and cat not in CATEGORIES:
+                    self.flag(
+                        "VOC001", node,
+                        f"trace category {cat!r} is not in "
+                        "repro.obs.events.CATEGORIES",
                     )
         # StatsRegistry keys must carry a registered family.
         if (

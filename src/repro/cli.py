@@ -609,7 +609,18 @@ def cmd_chaos(args) -> int:
     reports = []
     rows = []
     all_ok = True
+    trace_paths = []
     for seed in seeds:
+        trace = None
+        if args.trace:
+            base = pathlib.Path(args.trace)
+            if len(seeds) > 1:
+                trace = str(base.with_name(
+                    f"{base.stem}-s{seed}{base.suffix}"
+                ))
+            else:
+                trace = str(base)
+            trace_paths.append(trace)
         report = run_chaos(
             store_name,
             seed=seed,
@@ -620,6 +631,7 @@ def cmd_chaos(args) -> int:
             restart_gap=args.restart_gap,
             ack_policy=args.ack,
             read_policy=args.read_policy,
+            trace=trace,
         )
         reports.append(report)
         all_ok = all_ok and report["ok"]
@@ -638,6 +650,8 @@ def cmd_chaos(args) -> int:
     print(format_table(
         ["seed", "completed", "kills", "restarts", "elections",
          "acked_lost", "oracle", "followers", "verdict"], rows))
+    for path in trace_paths:
+        print(f"# trace: {path}", file=sys.stderr)
     print(
         f"\nchaos: {store_name} shards={args.shards} K={args.followers} "
         f"ack={args.ack} read={args.read_policy} -- "
@@ -748,6 +762,56 @@ def cmd_perf(args) -> int:
     if args.history:
         argv += ["--history"]
     return perf.main(argv)
+
+
+def cmd_diff(args) -> int:
+    """Differential analysis between two runs (see docs/observability.md).
+
+    Default mode diffs two ``repro analyze --json`` documents by file
+    path; ``--perf`` diffs two labelled runs from the perf history
+    instead (positionals become labels in ``BENCH_perf.json``).
+    """
+    import json
+
+    from repro.obs.analyze import diff_analysis, diff_json, diff_perf, render_diff
+
+    if args.perf:
+        from repro.bench.perf import find_run, load_results
+
+        doc = load_results(pathlib.Path(args.json))
+        runs = []
+        for label in (args.a, args.b):
+            run = find_run(doc, args.diff_store, args.ops_scale, label)
+            if run is None:
+                print(
+                    f"no recorded run: label={label!r} "
+                    f"store={args.diff_store} ops_scale={args.ops_scale} "
+                    f"in {args.json}",
+                    file=sys.stderr,
+                )
+                return 2
+            runs.append(run)
+        report = diff_perf(runs[0], runs[1])
+    else:
+        docs = []
+        for path in (args.a, args.b):
+            try:
+                docs.append(json.loads(pathlib.Path(path).read_text()))
+            except (OSError, ValueError) as exc:
+                print(f"cannot read analysis JSON {path}: {exc}",
+                      file=sys.stderr)
+                return 2
+        report = diff_analysis(
+            docs[0], docs[1],
+            label_a=pathlib.Path(args.a).name,
+            label_b=pathlib.Path(args.b).name,
+        )
+    print(render_diff(report, top=args.top), end="")
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.write_text(diff_json(report))
+        print(f"# diff report: {path}", file=sys.stderr)
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -967,6 +1031,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="leader")
     p.add_argument("--report", default=None, metavar="FILE",
                    help="write the deterministic chaos report JSON")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="run under causal tracing and write the merged "
+                        "trace (per-seed suffixes with multiple seeds); "
+                        "adds failover timelines to the report")
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -1016,6 +1084,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render the per-kernel trajectory across recorded "
                         "runs instead of running kernels")
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser(
+        "diff",
+        help="differential analysis between two runs (analyze docs or "
+             "perf-history labels)",
+    )
+    p.add_argument("a", help="analysis JSON path (or run label with --perf)")
+    p.add_argument("b", help="analysis JSON path (or run label with --perf)")
+    p.add_argument("--perf", action="store_true",
+                   help="diff two labelled BENCH_perf.json runs instead "
+                        "of two analysis documents")
+    p.add_argument("--json", default="BENCH_perf.json",
+                   help="perf history file for --perf (default %(default)s)")
+    p.add_argument("--store", dest="diff_store", default="miodb",
+                   metavar="STORE", help="store of the --perf runs")
+    p.add_argument("--ops-scale", choices=["tiny", "default"],
+                   default="default", help="ops scale of the --perf runs")
+    p.add_argument("--top", type=int, default=20, metavar="N",
+                   help="rows in the text report (default %(default)s)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also write the full diff document as JSON")
+    p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser(
         "bench", help="regenerate all figure/table artifacts in parallel"

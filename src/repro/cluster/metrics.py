@@ -85,6 +85,8 @@ def cluster_openmetrics_text(cluster, recorders: List[object]) -> str:
     ``recorders`` is the list returned by ``cluster.attach_live()``
     (shard order); the ``shard`` label carries the shard id.  Like every
     exporter here, the text is byte-identical for identical seeded runs.
+    Replicated clusters additionally expose per-follower ``repro_repl_lag``
+    samples; unreplicated documents are unchanged.
     """
     from repro.obs.live.openmetrics import openmetrics_text
 
@@ -93,6 +95,9 @@ def cluster_openmetrics_text(cluster, recorders: List[object]) -> str:
             f"expected {cluster.n_shards} recorders, got {len(recorders)}"
         )
     labels = [str(shard.shard_id) for shard in cluster.shards]
+    groups = [shard.group for shard in cluster.shards]
+    if any(group is not None for group in groups):
+        return openmetrics_text(recorders, labels, groups=groups)
     return openmetrics_text(recorders, labels)
 
 

@@ -159,12 +159,25 @@ class Cluster:
         :func:`repro.cluster.metrics.cluster_chrome_trace` to export
         them as one multi-process Perfetto document with shard-id
         metadata.
+
+        Replicated shards additionally route their group's causal
+        ``repl.*`` events (append/ship/durable/apply/ack and failover)
+        into the shard's recorder, so quorum-ack latency decomposes on
+        the same timeline as the leader's op spans.
         """
-        return [shard.system.attach_tracing() for shard in self.shards]
+        recorders = []
+        for shard in self.shards:
+            recorder = shard.system.attach_tracing()
+            if shard.group is not None:
+                shard.group.obs = recorder
+            recorders.append(recorder)
+        return recorders
 
     def detach_tracing(self) -> None:
         """Detach every shard's recorder (idempotent)."""
         for shard in self.shards:
+            if shard.group is not None:
+                shard.group.obs = None
             shard.system.detach_tracing()
 
     def attach_live(self, config=None, **overrides) -> List[object]:

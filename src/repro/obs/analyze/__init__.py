@@ -13,6 +13,11 @@ report is byte-identical across same-seed runs.  The pieces:
   worker, and level, rendered as JSON or ASCII;
 - :mod:`~repro.obs.analyze.timeline` -- per-level bytes-moved and
   write-amplification accounting cross-checkable against fig 11;
+- :mod:`~repro.obs.analyze.replication` -- replication-phase totals,
+  per-follower lag timelines, and quorum-straggler counts from the
+  causal ``repl.*`` events;
+- :mod:`~repro.obs.analyze.diff` -- differential analysis between two
+  runs (analysis documents or perf-history entries) behind ``repro diff``;
 - :mod:`~repro.obs.analyze.slo` -- rolling-window SLO monitors with
   multi-window burn-rate alerting on the simulated clock;
 - :mod:`~repro.obs.analyze.report` -- the assembled ``repro analyze``
@@ -24,9 +29,21 @@ from repro.obs.analyze.critical_path import (
     MAX_CHAIN_DEPTH,
     StallChain,
     critical_paths,
+    failover_timelines,
     stall_blame,
 )
+from repro.obs.analyze.diff import (
+    diff_analysis,
+    diff_json,
+    diff_perf,
+    diff_verdict,
+    render_diff,
+)
 from repro.obs.analyze.profile import render_profile, time_profile
+from repro.obs.analyze.replication import (
+    follower_lag_timeline,
+    replication_summary,
+)
 from repro.obs.analyze.report import (
     analysis_json,
     analyze_cluster,
@@ -57,6 +74,14 @@ __all__ = [
     "StallChain",
     "critical_paths",
     "stall_blame",
+    "failover_timelines",
+    "follower_lag_timeline",
+    "replication_summary",
+    "diff_analysis",
+    "diff_perf",
+    "diff_verdict",
+    "diff_json",
+    "render_diff",
     "MAX_CHAIN_DEPTH",
     "time_profile",
     "render_profile",

@@ -11,6 +11,10 @@ Every foreground op span is decomposed into named components:
 - ``device_s`` -- per-device transfer time charged to the op itself
   (transfers tagged ``job`` belong to background work whose cost was
   computed inline and are excluded);
+- ``repl_s`` -- replication ack wait (quorum-ack runs; one ``repl.ack``
+  span per replicated write, keyed by the straggler follower that
+  completed the quorum), folded into the op's measured latency because
+  the client-visible write latency includes it;
 - ``other_s`` -- everything else (CPU search/serialize time, WAL
   framing, bloom probes), defined as the measured latency minus the
   named components so the decomposition conserves by construction.
@@ -29,7 +33,13 @@ component set exactly.
 
 from typing import Dict, Iterable, List, Optional
 
-from repro.obs.events import CAT_OP, CAT_QUEUE, CAT_STALL, CAT_TRANSFER
+from repro.obs.events import (
+    CAT_OP,
+    CAT_QUEUE,
+    CAT_REPL_ACK,
+    CAT_STALL,
+    CAT_TRANSFER,
+)
 
 
 class OpAttribution:
@@ -44,6 +54,7 @@ class OpAttribution:
         "queue_s",
         "stall_s",
         "device_s",
+        "repl_s",
         "other_s",
     )
 
@@ -65,16 +76,33 @@ class OpAttribution:
         self.queue_s = queue_s
         self.stall_s = stall_s
         self.device_s = device_s
+        self.repl_s: Dict[str, float] = {}
         self.other_s = measured_s - self.named_total()
 
     def named_total(self) -> float:
-        """Queue + stalls + device time, summed in a fixed key order."""
+        """Queue + stalls + device + replication time, in fixed key order."""
         total = self.queue_s
         for cause in sorted(self.stall_s):
             total += self.stall_s[cause]
         for device in sorted(self.device_s):
             total += self.device_s[device]
+        for key in sorted(self.repl_s):
+            total += self.repl_s[key]
         return total
+
+    def extend_repl(self, key: str, seconds: float) -> None:
+        """Fold a replication ack wait into this op's decomposition.
+
+        The ack wait happens *after* the leader's op span (the client
+        blocks on the ack policy once the local write is done), so the
+        measured latency grows by the same amount and conservation holds
+        by construction -- ``other_s`` is recomputed as the measured
+        remainder.
+        """
+        self.repl_s[key] = self.repl_s.get(key, 0.0) + seconds
+        self.measured_s += seconds
+        self.end = self.start + self.measured_s
+        self.other_s = self.measured_s - self.named_total()
 
     def components_total(self) -> float:
         """All components including ``other_s`` -- equals ``measured_s``."""
@@ -85,7 +113,7 @@ class OpAttribution:
         return self.measured_s - self.components_total()
 
     def as_dict(self) -> dict:
-        return {
+        doc = {
             "index": self.index,
             "kind": self.kind,
             "start_s": self.start,
@@ -95,6 +123,11 @@ class OpAttribution:
             "device_s": dict(sorted(self.device_s.items())),
             "other_s": self.other_s,
         }
+        # Only replicated ops carry the bucket, so unreplicated
+        # attribution documents stay byte-identical.
+        if self.repl_s:
+            doc["repl_s"] = dict(sorted(self.repl_s.items()))
+        return doc
 
     def __repr__(self) -> str:
         return (
@@ -122,6 +155,7 @@ def attribute_ops(recorder) -> List[OpAttribution]:
     """
     attributions: List[OpAttribution] = []
     pending: List = []
+    last_op_end = None
     for event in recorder.events:
         cat = event.cat
         if cat == CAT_TRANSFER:
@@ -131,8 +165,30 @@ def attribute_ops(recorder) -> List[OpAttribution]:
             pending.append(event)
         elif cat == CAT_STALL or cat == CAT_QUEUE:
             pending.append(event)
+        elif cat == CAT_REPL_ACK:
+            # The ack span is emitted synchronously inside the replicated
+            # write: nothing advances the clock between the leader op's
+            # completion and the start of the ack wait, so an ack belongs
+            # to the op span ending exactly at its start.  Acks without a
+            # matching op (e.g. the recorder stayed on a deposed leader
+            # whose successor serves the writes) are left to the
+            # replication-phase summary instead of being misattributed.
+            if (
+                event.dur is not None
+                and attributions
+                and event.ts == last_op_end
+            ):
+                args = event.args or {}
+                group = event.track.split(":g", 1)[-1]
+                straggler = args.get("straggler")
+                key = (
+                    f"ack:g{group}" if straggler is None
+                    else f"ack:g{group}:r{straggler}"
+                )
+                attributions[-1].extend_repl(key, event.dur)
         elif cat == CAT_OP and event.track == "foreground":
             args = event.args or {}
+            last_op_end = event.end
             if "batch" in args:
                 _attribute_batch(event, args, pending, attributions)
             else:
@@ -238,6 +294,7 @@ def summarize(attributions: Iterable[OpAttribution]) -> dict:
         "other_s": 0.0,
         "stall_s": {},
         "device_s": {},
+        "repl_s": {},
     }
     by_kind: Dict[str, dict] = {}
     max_measured: Optional[OpAttribution] = None
@@ -251,6 +308,7 @@ def summarize(attributions: Iterable[OpAttribution]) -> dict:
                 "other_s": 0.0,
                 "stall_s": {},
                 "device_s": {},
+                "repl_s": {},
             },
         )):
             bucket["ops"] += 1
@@ -259,11 +317,18 @@ def summarize(attributions: Iterable[OpAttribution]) -> dict:
             bucket["other_s"] += attr.other_s
             _merge_into(bucket["stall_s"], attr.stall_s)
             _merge_into(bucket["device_s"], attr.device_s)
+            _merge_into(bucket["repl_s"], attr.repl_s)
         if max_measured is None or attr.measured_s > max_measured.measured_s:
             max_measured = attr
     for bucket in [total] + list(by_kind.values()):
         bucket["stall_s"] = dict(sorted(bucket["stall_s"].items()))
         bucket["device_s"] = dict(sorted(bucket["device_s"].items()))
+        # The replication bucket only appears on traces that have one,
+        # keeping unreplicated summary documents byte-identical.
+        if bucket["repl_s"]:
+            bucket["repl_s"] = dict(sorted(bucket["repl_s"].items()))
+        else:
+            del bucket["repl_s"]
     doc = dict(total)
     doc["by_kind"] = {kind: by_kind[kind] for kind in sorted(by_kind)}
     if max_measured is not None:

@@ -20,7 +20,7 @@ matches exact, not heuristic.
 
 from typing import Dict, List, Optional
 
-from repro.obs.events import CAT_STALL
+from repro.obs.events import CAT_REPL_ELECTION, CAT_STALL
 
 #: Don't walk job chains deeper than this (cascades are short in practice).
 MAX_CHAIN_DEPTH = 8
@@ -116,6 +116,88 @@ def critical_paths(recorder, max_depth: int = MAX_CHAIN_DEPTH) -> List[StallChai
             depth += 1
         chains.append(StallChain(cause, event.ts, event.dur, chain))
     return chains
+
+
+def failover_timelines(recorder) -> List[dict]:
+    """Failover critical paths: kill -> election -> truncation -> re-point.
+
+    Reconstructed purely from the causal parent links on
+    ``repl.election`` events: blocked/truncate/elect instants carry the
+    triggering kill's span id as ``parent``, and the repoint instant
+    carries the elect span's id.  One timeline per kill that caused
+    election activity (a leader kill, or the follower kill that left a
+    blocked election without quorum); ``duration_s`` is the leaderless
+    window -- kill to repoint -- when the failover completed.
+    """
+    candidates: List[dict] = []
+    by_kill: Dict[int, dict] = {}
+    by_elect: Dict[int, dict] = {}
+    for event in recorder.events:
+        if event.cat != CAT_REPL_ELECTION:
+            continue
+        args = event.args or {}
+        span = args.get("span")
+        parent = args.get("parent")
+        if event.name == "kill":
+            timeline = {
+                "group": args.get("group"),
+                "kill_t_s": event.ts,
+                "replica": args.get("replica"),
+                "role": args.get("role"),
+                "blocked": [],
+                "restarts": [],
+                "truncated_records": 0,
+                "elect_start_s": None,
+                "elect_end_s": None,
+                "winner": None,
+                "epoch": None,
+                "repoint_t_s": None,
+                "duration_s": None,
+            }
+            by_kill[span] = timeline
+            candidates.append(timeline)
+        elif event.name == "election-blocked":
+            timeline = by_kill.get(parent)
+            if timeline is not None:
+                timeline["blocked"].append({
+                    "t_s": event.ts,
+                    "alive": args.get("alive"),
+                    "quorum": args.get("quorum"),
+                })
+        elif event.name == "truncate":
+            timeline = by_kill.get(parent)
+            if timeline is not None:
+                timeline["truncated_records"] = args.get("records", 0)
+        elif event.name == "elect":
+            timeline = by_kill.get(parent)
+            if timeline is not None:
+                timeline["elect_start_s"] = event.ts
+                timeline["elect_end_s"] = event.end
+                timeline["winner"] = args.get("replica")
+                by_elect[span] = timeline
+        elif event.name == "repoint":
+            timeline = by_elect.get(parent)
+            if timeline is not None:
+                timeline["repoint_t_s"] = event.ts
+                timeline["epoch"] = args.get("epoch")
+                timeline["duration_s"] = event.ts - timeline["kill_t_s"]
+        elif event.name == "restart":
+            # Restarts carry no parent (the replacement is a fresh node);
+            # attach to the most recent still-unresolved failover, which
+            # is the one the restart can unblock.
+            for timeline in reversed(candidates):
+                if timeline["repoint_t_s"] is None:
+                    timeline["restarts"].append({
+                        "t_s": event.ts,
+                        "replica": args.get("replica"),
+                    })
+                    break
+    return [
+        timeline for timeline in candidates
+        if timeline["role"] == "leader"
+        or timeline["blocked"]
+        or timeline["elect_start_s"] is not None
+    ]
 
 
 def stall_blame(chains: List[StallChain]) -> dict:

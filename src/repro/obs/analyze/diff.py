@@ -1,0 +1,261 @@
+"""Differential trace analysis: what changed between two runs.
+
+Two deterministic comparisons back ``repro diff``:
+
+- :func:`diff_analysis` -- two ``repro analyze`` documents (same store,
+  different code or configuration).  Every numeric leaf of the
+  comparable sections -- attribution buckets, stall causes, per-device
+  and per-level time, write amplification, bytes-moved timeline bins,
+  replication phases -- becomes one delta row, ranked by relative
+  magnitude.  Two same-seed runs of the same code produce byte-identical
+  analysis documents, so their diff has exactly zero rows.
+- :func:`diff_perf` -- two labelled runs from ``BENCH_perf.json``
+  (the wall-clock trajectory).  Kernels present in both are compared on
+  wall time and throughput, ranked by speedup magnitude, and flagged
+  when the pinned simulated fingerprint changed (the model itself
+  drifted, which no optimization may do).
+
+Both emit the same document shape (``mode`` distinguishes them) with a
+one-line ``verdict`` -- the sentence CI embeds in band-violation
+messages.  Ranking keys are pure functions of the inputs and ties break
+on the metric name, so the report is byte-stable.
+"""
+
+import json
+from typing import Dict, List, Optional
+
+#: Analysis-document sections compared leaf-by-leaf.  Unlisted sections
+#: are either non-numeric narratives (critical paths, profile trees,
+#: failover timelines) or meta-data that must not alarm a diff
+#: (conservation bookkeeping, sampling counters).
+ANALYSIS_SECTIONS = (
+    "sim_time_s",
+    "events",
+    "attribution",
+    "stall_seconds_by_cause",
+    "per_level",
+    "write",
+    "timeline",
+    "replication",
+)
+
+#: Subtrees under the compared sections that are timelines-of-record or
+#: examples rather than aggregate metrics.
+_SKIP_SUBTREES = frozenset({"slowest", "failovers", "lag"})
+
+
+def _flatten(prefix: str, node, out: Dict[str, float]) -> None:
+    """Numeric leaves of ``node`` as dotted/indexed paths into ``out``."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        out[prefix] = node
+    elif isinstance(node, dict):
+        for key in node:
+            if key in _SKIP_SUBTREES:
+                continue
+            _flatten(f"{prefix}.{key}" if prefix else str(key), node[key], out)
+    elif isinstance(node, list):
+        for at, item in enumerate(node):
+            _flatten(f"{prefix}[{at}]", item, out)
+
+
+def _metrics(doc: dict) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for section in ANALYSIS_SECTIONS:
+        if section in doc:
+            _flatten(section, doc[section], out)
+    return out
+
+
+def _rel(a: float, b: float) -> float:
+    """Relative delta magnitude in (0, 1]; unit-free ranking key."""
+    scale = max(abs(a), abs(b))
+    return abs(b - a) / scale if scale > 0 else 0.0
+
+
+def diff_analysis(
+    a: dict, b: dict, label_a: str = "a", label_b: str = "b"
+) -> dict:
+    """Ranked numeric deltas between two analysis documents.
+
+    Rows carry the metric path, both values, the absolute delta
+    (``b - a``), and the ratio (``b / a`` when defined).  Metrics absent
+    on one side diff against an implicit zero -- a stall cause that
+    disappeared still ranks.  Exact-zero deltas are dropped, so a
+    same-seed self-diff reports an empty list.
+    """
+    metrics_a = _metrics(a)
+    metrics_b = _metrics(b)
+    deltas: List[dict] = []
+    for metric in set(metrics_a) | set(metrics_b):
+        va = metrics_a.get(metric, 0.0)
+        vb = metrics_b.get(metric, 0.0)
+        if va == vb:
+            continue
+        deltas.append({
+            "metric": metric,
+            "a": va,
+            "b": vb,
+            "delta": vb - va,
+            "ratio": (vb / va) if va != 0 else None,
+        })
+    deltas.sort(key=lambda row: (-_rel(row["a"], row["b"]),
+                                 -abs(row["delta"]), row["metric"]))
+    doc = {
+        "schema": 1,
+        "mode": "analysis",
+        "a": label_a,
+        "b": label_b,
+        "store_a": a.get("store"),
+        "store_b": b.get("store"),
+        "deltas": deltas,
+    }
+    doc["verdict"] = _analysis_verdict(doc)
+    return doc
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.6g}"
+
+
+def _analysis_verdict(doc: dict) -> str:
+    deltas = doc["deltas"]
+    if not deltas:
+        return (
+            f"no differences: {doc['a']} and {doc['b']} are "
+            "numerically identical"
+        )
+    top = deltas[0]
+    pct = _rel(top["a"], top["b"]) * 100.0
+    return (
+        f"{len(deltas)} metrics differ; biggest: {top['metric']} "
+        f"{_fmt(top['a'])} -> {_fmt(top['b'])} ({pct:.1f}% shift) "
+        f"from {doc['a']} to {doc['b']}"
+    )
+
+
+def diff_perf(run_a: dict, run_b: dict) -> dict:
+    """Per-kernel deltas between two ``BENCH_perf.json`` run entries.
+
+    ``speedup`` is ``a_wall / b_wall`` -- above 1 means ``b`` is faster.
+    Kernels with identical wall time and matching fingerprints are
+    dropped, so diffing a run against itself reports zero deltas.
+    Fingerprint mismatches always rank first: a changed fingerprint
+    means the simulated model drifted, which outranks any speed delta.
+    """
+    label_a = run_a.get("label", "a")
+    label_b = run_b.get("label", "b")
+    kernels_a = run_a.get("kernels", {})
+    kernels_b = run_b.get("kernels", {})
+    deltas: List[dict] = []
+    for kernel in kernels_a:
+        if kernel not in kernels_b:
+            continue
+        ka, kb = kernels_a[kernel], kernels_b[kernel]
+        match = ka.get("fingerprint") == kb.get("fingerprint")
+        if match and ka["wall_s"] == kb["wall_s"]:
+            continue
+        speedup = ka["wall_s"] / kb["wall_s"] if kb["wall_s"] > 0 else None
+        deltas.append({
+            "kernel": kernel,
+            "a_wall_s": ka["wall_s"],
+            "b_wall_s": kb["wall_s"],
+            "a_kops": ka["kops_wall"],
+            "b_kops": kb["kops_wall"],
+            "speedup": speedup,
+            "fingerprint_match": match,
+        })
+    deltas.sort(key=lambda row: (
+        row["fingerprint_match"],
+        -max(row["speedup"], 1.0 / row["speedup"])
+        if row["speedup"] else 0.0,
+        row["kernel"],
+    ))
+    doc = {
+        "schema": 1,
+        "mode": "perf",
+        "a": label_a,
+        "b": label_b,
+        "store_a": run_a.get("store"),
+        "store_b": run_b.get("store"),
+        "deltas": deltas,
+    }
+    doc["verdict"] = _perf_verdict(doc)
+    return doc
+
+
+def _perf_verdict(doc: dict) -> str:
+    deltas = doc["deltas"]
+    if not deltas:
+        return (
+            f"no differences: {doc['a']} and {doc['b']} match on every "
+            "shared kernel"
+        )
+    drifted = [row["kernel"] for row in deltas if not row["fingerprint_match"]]
+    if drifted:
+        return (
+            f"simulated model drifted on {len(drifted)} kernel(s): "
+            f"{', '.join(drifted)} ({doc['a']} vs {doc['b']})"
+        )
+    top = deltas[0]
+    speedup = top["speedup"]
+    if speedup >= 1.0:
+        direction = f"{speedup:.2f}x faster"
+    else:
+        direction = f"{1.0 / speedup:.2f}x slower"
+    return (
+        f"{len(deltas)} kernels changed; biggest: {top['kernel']} "
+        f"{direction} ({top['a_kops']:.3f} -> {top['b_kops']:.3f} kops) "
+        f"from {doc['a']} to {doc['b']}"
+    )
+
+
+def diff_verdict(doc: dict) -> str:
+    """The diff's one-line verdict (CI embeds this in band messages)."""
+    return doc["verdict"]
+
+
+def diff_json(doc: dict) -> str:
+    """Deterministic serialization (sorted keys, trailing newline)."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def render_diff(doc: dict, top: Optional[int] = 20) -> str:
+    """The diff document as a fixed-width text report."""
+    lines = [
+        f"== repro diff ({doc['mode']}): {doc['a']} -> {doc['b']} ==",
+        doc["verdict"],
+    ]
+    deltas = doc["deltas"]
+    shown = deltas if top is None else deltas[:top]
+    if doc["mode"] == "perf":
+        if shown:
+            lines.append(
+                f"{'kernel':<14} {'a kops':>10} {'b kops':>10} "
+                f"{'speedup':>9} {'model':>8}"
+            )
+        for row in shown:
+            speedup = row["speedup"]
+            lines.append(
+                f"{row['kernel']:<14} {row['a_kops']:>10.3f} "
+                f"{row['b_kops']:>10.3f} "
+                + (f"{speedup:>8.2f}x" if speedup else f"{'n/a':>9}")
+                + f" {'ok' if row['fingerprint_match'] else 'DRIFT':>8}"
+            )
+    else:
+        if shown:
+            lines.append(
+                f"{'metric':<44} {'a':>14} {'b':>14} {'shift':>8}"
+            )
+        for row in shown:
+            pct = _rel(row["a"], row["b"]) * 100.0
+            lines.append(
+                f"{row['metric']:<44} {_fmt(row['a']):>14} "
+                f"{_fmt(row['b']):>14} {pct:>7.1f}%"
+            )
+    if top is not None and len(deltas) > top:
+        lines.append(f"... {len(deltas) - top} more rows (see --out JSON)")
+    return "\n".join(lines) + "\n"

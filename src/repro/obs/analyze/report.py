@@ -12,6 +12,7 @@ from typing import List, Optional
 from repro.obs.analyze.attribution import attribute_ops, summarize
 from repro.obs.analyze.critical_path import critical_paths, stall_blame
 from repro.obs.analyze.profile import render_profile, time_profile
+from repro.obs.analyze.replication import replication_summary
 from repro.obs.analyze.timeline import (
     bytes_moved_timeline,
     per_level_bytes,
@@ -66,8 +67,12 @@ def analyze_run(
     meta_fn = getattr(recorder, "sampling_meta", None)
     if meta_fn is not None:
         sampling = meta_fn()
+    # Present only on traces with repl.* events, so unreplicated
+    # analysis documents stay byte-identical.
+    replication = replication_summary(recorder)
     return {
         **({"sampling": sampling} if sampling is not None else {}),
+        **({"replication": replication} if replication is not None else {}),
         "schema": 1,
         "store": store_name,
         "sim_time_s": end_s,
@@ -192,6 +197,30 @@ def render_analysis(doc: dict, profile: bool = True) -> str:
             f"({write['persistent_bytes']} persistent B / "
             f"{write['user_bytes']} user B)"
         )
+    replication = doc.get("replication")
+    if replication:
+        lines.append("")
+        lines.append("== replication phases ==")
+        phases = replication["phases"]
+        for label, key in (
+            ("ship (link)", "ship_s"),
+            ("apply (replay)", "apply_s"),
+            ("ack wait", "ack_s"),
+            ("election", "election_s"),
+        ):
+            lines.append(f"  {label:<24} {_fmt_seconds(phases[key]):>12}")
+        for key, count in replication["stragglers"].items():
+            lines.append(f"  straggler {key:<14} {count:>5} acks")
+        for timeline in replication["failovers"]:
+            took = timeline["duration_s"]
+            lines.append(
+                f"  failover g{timeline['group']}: kill r{timeline['replica']} "
+                f"at {_fmt_seconds(timeline['kill_t_s'])} -> "
+                + (
+                    f"r{timeline['winner']} repointed after {_fmt_seconds(took)}"
+                    if took is not None else "unresolved"
+                )
+            )
     out = "\n".join(lines) + "\n"
     if profile and "profile" in doc:
         out += "\n" + render_profile(doc["profile"])

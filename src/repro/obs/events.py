@@ -39,6 +39,28 @@ CAT_QUEUE = "queue"
 #: leader elections and failover (``args["lsn"]``/``args["replica"]``
 #: when known).  Emitted on the group's member tracks.
 CAT_REPL = "repl"
+#: Replicated-log shipping: the ``append`` instant that extends the
+#: group log with fresh leader WAL frames, and the per-follower ``ship``
+#: span covering one batch's link transfer.  Causally linked: a ship
+#: span's ``args["parent"]`` is the span id of the append that most
+#: recently extended the log it ships.
+CAT_REPL_SHIP = "repl.ship"
+#: Follower-side ingestion: the ``durable`` instant (frames appended to
+#: the follower's WAL, ``durable_lsn`` advanced) and the ``apply`` span
+#: (the replay job that makes them readable).  ``args["parent"]`` is the
+#: delivering ship span's id.
+CAT_REPL_APPLY = "repl.apply"
+#: The leader's ack decision for one replicated write: a span from the
+#: write's completion on the leader to the moment the ack policy is
+#: satisfied.  ``args["straggler"]`` names the follower whose durability
+#: completed the quorum; ``args["parent"]`` is that follower's delivering
+#: ship span.
+CAT_REPL_ACK = "repl.ack"
+#: Failover machinery: ``kill``/``restart`` instants, the
+#: ``election-blocked``/``truncate`` instants, the ``elect`` span (the
+#: election job on the winner's apply worker), and the ``repoint``
+#: instant when the shard is re-pointed at the new leader.
+CAT_REPL_ELECTION = "repl.election"
 
 CATEGORIES = (
     CAT_OP,
@@ -49,7 +71,23 @@ CATEGORIES = (
     CAT_TRANSFER,
     CAT_QUEUE,
     CAT_REPL,
+    CAT_REPL_SHIP,
+    CAT_REPL_APPLY,
+    CAT_REPL_ACK,
+    CAT_REPL_ELECTION,
 )
+
+#: Closed event-name vocabulary per ``repl.*`` category.  Strict-mode
+#: recorders reject names outside these sets, so the causal replication
+#: trace schema stays closed the same way stall/drop causes do.
+REPL_EVENT_NAMES = {
+    CAT_REPL_SHIP: ("append", "ship"),
+    CAT_REPL_APPLY: ("durable", "apply"),
+    CAT_REPL_ACK: ("ack",),
+    CAT_REPL_ELECTION: (
+        "kill", "election-blocked", "truncate", "elect", "repoint", "restart",
+    ),
+}
 
 # ------------------------------------------------------------ stall causes
 #

@@ -47,12 +47,22 @@ class _Doc:
         return "\n".join(self.lines + ["# EOF"]) + "\n"
 
 
-def openmetrics_text(recorders, labels: Optional[Sequence[str]] = None) -> str:
+def openmetrics_text(
+    recorders,
+    labels: Optional[Sequence[str]] = None,
+    groups: Optional[Sequence] = None,
+) -> str:
     """Render one exposition document over one or more live recorders.
 
     ``recorders`` is a single :class:`~repro.obs.live.recorder.LiveRecorder`
     or a sequence of them (one per shard); ``labels`` are the matching
     ``shard`` label values (defaults to ``"0"``, ``"1"``, ...).
+
+    ``groups`` optionally carries one replica group (or ``None``) per
+    shard; when given, the document gains a ``repro_repl_lag`` gauge
+    family with one sample per live follower -- acked records the
+    follower has not yet applied.  Unreplicated exports omit the family
+    entirely, so their pinned documents are unchanged.
     """
     if not isinstance(recorders, (list, tuple)):
         recorders = [recorders]
@@ -61,6 +71,11 @@ def openmetrics_text(recorders, labels: Optional[Sequence[str]] = None) -> str:
     if len(labels) != len(recorders):
         raise ValueError(
             f"labels/recorders length mismatch: {len(labels)} vs "
+            f"{len(recorders)}"
+        )
+    if groups is not None and len(groups) != len(recorders):
+        raise ValueError(
+            f"groups/recorders length mismatch: {len(groups)} vs "
             f"{len(recorders)}"
         )
     shards = list(zip(labels, recorders))
@@ -191,6 +206,22 @@ def openmetrics_text(recorders, labels: Optional[Sequence[str]] = None) -> str:
                     counts[cause],
                 )
 
+    if groups is not None:
+        doc.family(
+            "repro_repl_lag", "gauge",
+            "Acked log records not yet applied, per live follower.",
+        )
+        for label, group in zip(labels, groups):
+            if group is None:
+                continue
+            head = len(group.log)
+            for member in group.alive_followers():
+                doc.sample(
+                    "repro_repl_lag",
+                    [("shard", label), ("replica", str(member.replica_id))],
+                    head - member.applied_lsn,
+                )
+
     doc.family(
         "repro_flight_dumps", "counter",
         "Flight-recorder triggers, by trigger (including past max_dumps).",
@@ -207,10 +238,10 @@ def openmetrics_text(recorders, labels: Optional[Sequence[str]] = None) -> str:
     return doc.text()
 
 
-def write_openmetrics(path: str, recorders, labels=None) -> str:
+def write_openmetrics(path: str, recorders, labels=None, groups=None) -> str:
     """Write the exposition document to ``path``; returns the text."""
     from repro.obs.export import write_artifact
 
-    text = openmetrics_text(recorders, labels)
+    text = openmetrics_text(recorders, labels, groups=groups)
     write_artifact(path, text, overwrite=True)
     return text

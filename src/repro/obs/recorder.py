@@ -24,10 +24,15 @@ from repro.obs.events import (
     CAT_JOB,
     CAT_OP,
     CAT_QUEUE,
+    CAT_REPL_ACK,
+    CAT_REPL_APPLY,
+    CAT_REPL_ELECTION,
+    CAT_REPL_SHIP,
     CAT_STALL,
     CAT_TRANSFER,
     CATEGORIES,
     DROP_CAUSES,
+    REPL_EVENT_NAMES,
     STALL_CAUSES,
     TraceEvent,
 )
@@ -113,6 +118,13 @@ class TraceRecorder:
         if cat not in CATEGORIES:
             raise ValueError(
                 f"unknown trace category {cat!r}; expected one of {CATEGORIES}"
+            )
+        repl_names = REPL_EVENT_NAMES.get(cat)
+        if repl_names is not None and name not in repl_names:
+            raise ValueError(
+                f"unknown {cat!r} event name {name!r}; the closed "
+                f"vocabulary is {list(repl_names)} "
+                "(repro.obs.events.REPL_EVENT_NAMES)"
             )
         if args is None:
             return
@@ -338,4 +350,8 @@ __all__ = [
     "CAT_JOB",
     "CAT_TRANSFER",
     "CAT_QUEUE",
+    "CAT_REPL_SHIP",
+    "CAT_REPL_APPLY",
+    "CAT_REPL_ACK",
+    "CAT_REPL_ELECTION",
 ]

@@ -216,8 +216,18 @@ def run_chaos(
     read_policy: str = READ_LEADER,
     scale=None,
     schedule: Optional[ChaosSchedule] = None,
+    trace: Optional[str] = None,
 ) -> dict:
-    """One seeded kill/restart scenario; returns the audit report."""
+    """One seeded kill/restart scenario; returns the audit report.
+
+    With ``trace`` set, the scenario runs under full causal tracing:
+    the merged multi-shard trace is written to that path, and every
+    group document gains a ``failover_timeline`` (kill -> election ->
+    truncation -> re-point, reconstructed from the ``repl.election``
+    events' parent links).  Tracing adds zero simulated time, so the
+    audit results and every simulated number in the report are
+    byte-identical with tracing off.
+    """
     from repro.cluster.driver import AdmissionControl, ClientSpec, run_cluster
     from repro.cluster.router import Cluster, ShardRouter
 
@@ -228,6 +238,7 @@ def run_chaos(
         store_name, n_shards=shards, scale=scale, replication=config
     )
     router = ShardRouter(cluster)
+    recorders = cluster.attach_tracing() if trace is not None else None
     if schedule is None:
         schedule = ChaosSchedule.generate(
             seed, shards, kills=kills, span_ops=ops, restart_gap=restart_gap
@@ -257,6 +268,14 @@ def run_chaos(
     for group in groups:
         group.catch_up()
     cluster.quiesce()
+    timelines = None
+    if recorders is not None:
+        from repro.cluster.metrics import write_cluster_trace
+        from repro.obs.analyze import failover_timelines
+
+        timelines = [failover_timelines(recorder) for recorder in recorders]
+        cluster.detach_tracing()
+        write_cluster_trace(cluster, recorders, trace)
 
     oracle_match = True
     followers_match = True
@@ -276,6 +295,8 @@ def run_chaos(
         doc["oracle_match"] = g_oracle
         doc["followers_match"] = g_followers
         doc["history"] = list(group.history)
+        if timelines is not None:
+            doc["failover_timeline"] = timelines[group.group_id]
         group_docs.append(doc)
 
     stats = cluster.stats

@@ -36,7 +36,13 @@ already-shipped frame is applied before the new leader serves.
 from typing import Callable, List, Optional, Tuple
 
 from repro.mem.device import Device
-from repro.obs.events import CAT_REPL
+from repro.obs.events import (
+    CAT_REPL,
+    CAT_REPL_ACK,
+    CAT_REPL_APPLY,
+    CAT_REPL_ELECTION,
+    CAT_REPL_SHIP,
+)
 from repro.persist.crash import PASSIVE_INJECTOR
 from repro.replication.config import (
     ACK_LEADER,
@@ -84,7 +90,7 @@ class Replica:
     __slots__ = (
         "replica_id", "store", "system", "link", "ship_worker",
         "apply_worker", "alive", "role", "shipped_lsn", "durable_lsn",
-        "applied_lsn", "ship_job", "last_seq",
+        "applied_lsn", "ship_job", "last_seq", "durable_t", "durable_span",
     )
 
     def __init__(self, replica_id: int, store, system, link) -> None:
@@ -101,6 +107,11 @@ class Replica:
         self.applied_lsn = 0
         self.ship_job = None
         self.last_seq = 0
+        # When this follower last advanced durable_lsn, and the span id
+        # of the ship that delivered it -- the ack decision's causal
+        # parent when this follower completes the quorum.
+        self.durable_t = 0.0
+        self.durable_span = None
 
     def __repr__(self) -> str:
         state = self.role if self.alive else "down"
@@ -144,6 +155,14 @@ class ReplicaGroup:
         self._rr = 0
         self._election_pending = False
         self._election_member: Optional[Replica] = None
+        #: Causal replication tracing sink (a TraceRecorder), or None.
+        #: Every emission site guards on this, so a group with tracing
+        #: off pays one attribute load per site and never touches the
+        #: clock -- simulated time is byte-identical either way.
+        self.obs = None
+        self._span_seq = 0
+        self._append_span: Optional[int] = None
+        self._kill_span: Optional[int] = None
         self.members: List[Replica] = []
         for rid in range(self.config.group_size):
             self.members.append(self._make_member(rid))
@@ -207,6 +226,42 @@ class ReplicaGroup:
             f"repl-apply-g{self.group_id}-r{rid}"
         )
         return replica
+
+    # ------------------------------------------------------------- tracing
+
+    def attach_tracing(self, recorder=None):
+        """Start causal replication tracing (``repl.*`` events).
+
+        Without a ``recorder``, attaches a fresh one to the current
+        leader's system (so leader op/stall/transfer events land in the
+        same trace).  Pass an existing recorder -- e.g. the cluster
+        layer's per-shard recorder -- to share one event stream.
+        """
+        if recorder is None:
+            recorder = self.system.attach_tracing()
+        self.obs = recorder
+        return recorder
+
+    def detach_tracing(self) -> None:
+        """Stop emitting ``repl.*`` events (recorded events stay readable)."""
+        recorder = self.obs
+        self.obs = None
+        if recorder is not None and recorder.attached:
+            recorder.detach()
+
+    def _next_span(self) -> int:
+        """The next causal span id (unique per group, emission-ordered)."""
+        self._span_seq += 1
+        return self._span_seq
+
+    @property
+    def _track(self) -> str:
+        """The group-level track (appends, acks, failover machinery)."""
+        return f"repl:g{self.group_id}"
+
+    def _member_track(self, replica_id: int) -> str:
+        """One member's track (ship/durable/apply events)."""
+        return f"repl:g{self.group_id}:r{replica_id}"
 
     # ---------------------------------------------------------- membership
 
@@ -325,6 +380,13 @@ class ReplicaGroup:
         leader.shipped_lsn = len(self.log)
         leader.durable_lsn = len(self.log)
         leader.applied_lsn = len(self.log)
+        if self.obs is not None:
+            span = self._next_span()
+            self._append_span = span
+            self.obs.instant(
+                self._track, "append", CAT_REPL_SHIP,
+                {"span": span, "lsn": len(self.log), "records": len(fresh)},
+            )
         self._pump_all()
 
     def _await_acks(self, lsn: int) -> float:
@@ -352,7 +414,36 @@ class ReplicaGroup:
         waited = self.clock.now - start
         if waited > 0.0:
             self.stats.add("repl.ack_wait_s", waited)
+        if self.obs is not None:
+            self._trace_ack(lsn, needed, followers, start)
         return waited
+
+    def _trace_ack(
+        self, lsn: int, needed: int, followers: List[Replica], start: float
+    ) -> None:
+        """The ack decision as a span, naming the quorum straggler.
+
+        The straggler is the ``needed``-th follower (by durability time,
+        ties toward the lowest replica id) whose ``durable_lsn`` covers
+        the write -- the member the leader actually waited for.  The
+        span's parent is the ship that made the straggler durable, which
+        chains the ack back through apply/ship/append to the client op.
+        """
+        reached = sorted(
+            (f.durable_t, f.replica_id, f)
+            for f in followers
+            if f.alive and f.durable_lsn >= lsn
+        )
+        span = self._next_span()
+        args = {"span": span, "lsn": lsn, "needed": needed}
+        if reached:
+            straggler = reached[min(needed, len(reached)) - 1][2]
+            args["straggler"] = straggler.replica_id
+            if straggler.durable_span is not None:
+                args["parent"] = straggler.durable_span
+        self.obs.span(
+            self._track, "ack", CAT_REPL_ACK, start, self.clock.now, args
+        )
 
     # ------------------------------------------------------------- shipping
 
@@ -377,12 +468,13 @@ class ReplicaGroup:
         seconds = follower.link.write(total, sequential=True)
         self.crash.reach("repl.ship")
         epoch = self.epoch
+        ship_span = self._next_span() if self.obs is not None else None
 
         def delivered() -> None:
             follower.ship_job = None
             if not follower.alive or self.epoch != epoch:
                 return
-            self._deliver(follower, frames, end)
+            self._deliver(follower, frames, end, ship_span)
 
         follower.ship_job = follower.system.executor.submit(
             follower.ship_worker,
@@ -396,11 +488,32 @@ class ReplicaGroup:
                 "bytes": total,
             },
         )
+        if ship_span is not None:
+            # The executor computes the job's start/end at submit time,
+            # so the ship span carries exact simulated link timing.
+            job = follower.ship_job
+            args = {
+                "span": ship_span,
+                "lsn": end,
+                "replica": follower.replica_id,
+                "records": end - start,
+                "bytes": total,
+                "wait_s": job.start - job.submitted_at,
+            }
+            if self._append_span is not None:
+                args["parent"] = self._append_span
+            self.obs.span(
+                self._member_track(follower.replica_id), "ship",
+                CAT_REPL_SHIP, job.start, job.end, args,
+            )
         follower.shipped_lsn = end
         self.stats.add("repl.shipped_records", end - start)
         self.stats.add("repl.shipped_bytes", total)
 
-    def _deliver(self, follower: Replica, frames, end_lsn: int) -> None:
+    def _deliver(
+        self, follower: Replica, frames, end_lsn: int,
+        ship_span: Optional[int] = None,
+    ) -> None:
         """Shipped frames arrived: append to the follower's WAL and apply.
 
         The append/insert happen through the same WAL apply path crash
@@ -424,8 +537,22 @@ class ReplicaGroup:
                 follower.last_seq = record.seq
         if end_lsn > follower.durable_lsn:
             follower.durable_lsn = end_lsn
+        follower.durable_t = self.clock.now
+        follower.durable_span = ship_span
         self.crash.reach("repl.apply")
         count = len(frames)
+        if self.obs is not None:
+            args = {
+                "span": self._next_span(),
+                "lsn": end_lsn,
+                "replica": follower.replica_id,
+            }
+            if ship_span is not None:
+                args["parent"] = ship_span
+            self.obs.instant(
+                self._member_track(follower.replica_id), "durable",
+                CAT_REPL_APPLY, args,
+            )
 
         def applied() -> None:
             if not follower.alive:
@@ -436,7 +563,7 @@ class ReplicaGroup:
             self.stats.max("repl.lag_peak", len(self.log) - follower.applied_lsn)
             self._pump(follower)
 
-        follower.system.executor.submit(
+        apply_job = follower.system.executor.submit(
             follower.apply_worker,
             seconds,
             applied,
@@ -448,6 +575,20 @@ class ReplicaGroup:
                 "records": count,
             },
         )
+        if self.obs is not None:
+            args = {
+                "span": self._next_span(),
+                "lsn": end_lsn,
+                "replica": follower.replica_id,
+                "records": count,
+                "wait_s": apply_job.start - apply_job.submitted_at,
+            }
+            if ship_span is not None:
+                args["parent"] = ship_span
+            self.obs.span(
+                self._member_track(follower.replica_id), "apply",
+                CAT_REPL_APPLY, apply_job.start, apply_job.end, args,
+            )
         # Ship/apply pipelining: the next transfer can start immediately.
         self._pump(follower)
 
@@ -537,6 +678,18 @@ class ReplicaGroup:
             "replica": replica_id,
             "role": member.role,
         })
+        if self.obs is not None:
+            span = self._next_span()
+            self._kill_span = span
+            self.obs.instant(
+                self._track, "kill", CAT_REPL_ELECTION,
+                {
+                    "span": span,
+                    "group": self.group_id,
+                    "replica": replica_id,
+                    "role": member.role,
+                },
+            )
         if self._election_member is member:
             # The winner died mid-election; the pending election job was
             # cancelled with its executor.
@@ -560,6 +713,18 @@ class ReplicaGroup:
                 "alive": len(alive),
                 "quorum": self.config.quorum_size,
             })
+            if self.obs is not None:
+                args = {
+                    "span": self._next_span(),
+                    "group": self.group_id,
+                    "alive": len(alive),
+                    "quorum": self.config.quorum_size,
+                }
+                if self._kill_span is not None:
+                    args["parent"] = self._kill_span
+                self.obs.instant(
+                    self._track, "election-blocked", CAT_REPL_ELECTION, args
+                )
             return
         # Most-caught-up wins; ties break toward the lowest replica id.
         winner = alive[0]
@@ -574,6 +739,18 @@ class ReplicaGroup:
         if truncated > 0:
             del self.log[winner.durable_lsn:]
             self.stats.add("repl.truncated_records", truncated)
+            if self.obs is not None:
+                args = {
+                    "span": self._next_span(),
+                    "group": self.group_id,
+                    "records": truncated,
+                    "lsn": winner.durable_lsn,
+                }
+                if self._kill_span is not None:
+                    args["parent"] = self._kill_span
+                self.obs.instant(
+                    self._track, "truncate", CAT_REPL_ELECTION, args
+                )
         self.epoch += 1
         for member in alive:
             if member is not winner:
@@ -581,6 +758,7 @@ class ReplicaGroup:
                 member.ship_job = None
         self._election_pending = True
         self._election_member = winner
+        elect_span = self._next_span() if self.obs is not None else None
 
         def elected() -> None:
             self._election_pending = False
@@ -603,6 +781,18 @@ class ReplicaGroup:
                 "durable_lsn": winner.durable_lsn,
                 "epoch": self.epoch,
             })
+            if self.obs is not None:
+                args = {
+                    "span": self._next_span(),
+                    "group": self.group_id,
+                    "replica": winner.replica_id,
+                    "epoch": self.epoch,
+                }
+                if elect_span is not None:
+                    args["parent"] = elect_span
+                self.obs.instant(
+                    self._track, "repoint", CAT_REPL_ELECTION, args
+                )
             if self.shard is not None:
                 self.shard.store = winner.store
                 self.shard.system = winner.system
@@ -611,7 +801,7 @@ class ReplicaGroup:
         # Serialized on the winner's apply worker: every frame already
         # shipped to the winner is applied (its tail replay) before it
         # takes over as leader.
-        winner.system.executor.submit(
+        election_job = winner.system.executor.submit(
             winner.apply_worker,
             self.config.election_timeout_s,
             elected,
@@ -622,6 +812,19 @@ class ReplicaGroup:
                 "durable_lsn": winner.durable_lsn,
             },
         )
+        if elect_span is not None:
+            args = {
+                "span": elect_span,
+                "group": self.group_id,
+                "replica": winner.replica_id,
+                "durable_lsn": winner.durable_lsn,
+            }
+            if self._kill_span is not None:
+                args["parent"] = self._kill_span
+            self.obs.span(
+                self._track, "elect", CAT_REPL_ELECTION,
+                election_job.start, election_job.end, args,
+            )
 
     def restart_replica(self, replica_id: int) -> None:
         """Bring a killed member back as a fresh replacement node.
@@ -651,6 +854,8 @@ class ReplicaGroup:
         member.applied_lsn = 0
         member.ship_job = None
         member.last_seq = 0
+        member.durable_t = 0.0
+        member.durable_span = None
         self.stats.add("repl.restarts", 1)
         self.history.append({
             "t": self.clock.now,
@@ -658,6 +863,15 @@ class ReplicaGroup:
             "group": self.group_id,
             "replica": replica_id,
         })
+        if self.obs is not None:
+            self.obs.instant(
+                self._track, "restart", CAT_REPL_ELECTION,
+                {
+                    "span": self._next_span(),
+                    "group": self.group_id,
+                    "replica": replica_id,
+                },
+            )
         if self.leader_idx is None:
             self._maybe_elect()
         self._pump(member)

@@ -135,6 +135,32 @@ def test_voc001_passes_closed_vocabulary():
     assert lint_text(src) == []
 
 
+def test_voc001_flags_unknown_trace_category():
+    src = "def f(obs, t):\n    obs.instant('x', 'ev', 'repl.novel', t)\n"
+    findings = lint_text(src)
+    assert _rules(findings) == ["VOC001"]
+    assert "repl.novel" in findings[0].message
+
+
+def test_voc001_passes_registered_trace_categories():
+    src = (
+        "def f(obs, t):\n"
+        "    obs.instant('repl:g0', 'append', 'repl.ship', t)\n"
+        "    obs.span('repl:g0', 'ack', 'repl.ack', t, t)\n"
+        "    obs.span('repl:g0:r1', 'apply', 'repl.apply', t, t)\n"
+        "    obs.instant('repl:g0', 'kill', 'repl.election', t)\n"
+        "    obs.span('foreground', 'put', 'op', t, t)\n"
+    )
+    assert lint_text(src) == []
+
+
+def test_voc001_ignores_dynamic_trace_categories():
+    # Non-literal categories (the CAT_* constants) are checked at
+    # runtime by the strict recorder, not statically.
+    src = "def f(obs, cat, t):\n    obs.span('x', 'ev', cat, t, t)\n"
+    assert lint_text(src) == []
+
+
 # ----------------------------------------------------------------- STAT001
 
 

@@ -152,6 +152,81 @@ def test_cluster_openmetrics_is_deterministic():
     assert 'shard="1"' in a
 
 
+class _StubMember:
+    def __init__(self, replica_id, applied_lsn):
+        self.replica_id = replica_id
+        self.applied_lsn = applied_lsn
+
+
+class _StubGroup:
+    """Just enough replica-group surface for the lag gauge."""
+
+    def __init__(self, log_len, applied_by_replica):
+        self.log = [None] * log_len
+        self._members = [
+            _StubMember(rid, lsn) for rid, lsn in applied_by_replica
+        ]
+
+    def alive_followers(self):
+        return self._members
+
+
+def test_openmetrics_repl_lag_samples_are_pinned():
+    __, __, rec = run_traced("miodb", n=128, reads=0, live={})
+    groups = [_StubGroup(10, [(1, 10), (2, 7)])]
+    text = openmetrics_text(rec, labels=["0"], groups=groups)
+    lag_lines = [line for line in text.splitlines() if "repro_repl_lag" in line]
+    assert lag_lines == [
+        "# TYPE repro_repl_lag gauge",
+        "# HELP repro_repl_lag Acked log records not yet applied, "
+        "per live follower.",
+        'repro_repl_lag{shard="0",replica="1"} 0',
+        'repro_repl_lag{shard="0",replica="2"} 3',
+    ]
+
+
+def test_openmetrics_without_groups_has_no_lag_family():
+    __, __, rec = run_traced("miodb", n=128, reads=0, live={})
+    assert "repro_repl_lag" not in openmetrics_text(rec, labels=["0"])
+    # A shard without a replica group contributes no samples either.
+    with_empty = openmetrics_text(rec, labels=["0"], groups=[None])
+    assert "# TYPE repro_repl_lag gauge" in with_empty
+    assert 'repro_repl_lag{' not in with_empty
+
+
+def test_replicated_cluster_openmetrics_exports_follower_lag():
+    from repro.cluster import (
+        ClientSpec,
+        Cluster,
+        ShardRouter,
+        cluster_openmetrics_text,
+        run_cluster,
+    )
+    from repro.replication import ReplicationConfig
+
+    def drive():
+        cluster = Cluster(
+            "miodb", n_shards=2,
+            replication=ReplicationConfig(followers=2),
+        )
+        router = ShardRouter(cluster)
+        recorders = cluster.attach_live(seed=3)
+        run_cluster(
+            router,
+            [ClientSpec(n_ops=100, rate_per_s=float("inf"),
+                        key_space=200, seed=1)],
+            sessions=[router.session()],
+        )
+        for rec in recorders:
+            rec.detach()
+        return cluster_openmetrics_text(cluster, recorders)
+
+    a, b = drive(), drive()
+    assert a == b
+    assert 'repro_repl_lag{shard="0",replica="1"}' in a
+    assert 'repro_repl_lag{shard="1",replica="2"}' in a
+
+
 # ----------------------------------------------------------------- dashboard
 
 

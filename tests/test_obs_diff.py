@@ -1,0 +1,249 @@
+"""Differential trace analysis (``repro diff``): ranking and verdicts.
+
+Two pinned behaviors anchor the module: a same-seed self-diff reports
+exactly zero deltas (analysis documents are byte-identical, so nothing
+can differ), and diffing the repo's own recorded perf history across
+the batching PR ranks the put/get kernel improvements exactly as the
+history shows them.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs.analyze import (
+    diff_analysis,
+    diff_json,
+    diff_perf,
+    diff_verdict,
+    render_diff,
+)
+
+pytestmark = pytest.mark.obs_diff
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def analysis_doc(**overrides):
+    doc = {
+        "store": "miodb",
+        "sim_time_s": 2.0,
+        "events": 100,
+        "attribution": {
+            "ops": 50,
+            "measured_s": 1.0,
+            "queue_s": 0.25,
+            "stall_s": {"memtable-full": 0.1},
+            "slowest": {"index": 3, "measured_s": 0.5},
+        },
+        "stall_seconds_by_cause": {"memtable-full": 0.1},
+        "conservation": {"ok": True},
+    }
+    doc.update(overrides)
+    return doc
+
+
+# ------------------------------------------------------------ analysis mode
+
+
+def test_self_diff_reports_exactly_zero_deltas():
+    doc = analysis_doc()
+    diff = diff_analysis(doc, doc, "run-a", "run-b")
+    assert diff["deltas"] == []
+    assert diff_verdict(diff).startswith("no differences")
+
+
+def test_self_diff_is_byte_stable():
+    doc = analysis_doc()
+    first = diff_json(diff_analysis(doc, doc))
+    second = diff_json(diff_analysis(json.loads(json.dumps(doc)), doc))
+    assert first == second
+
+
+def test_deltas_rank_by_relative_magnitude():
+    a = analysis_doc()
+    b = analysis_doc(sim_time_s=2.2)  # 10% shift
+    b["attribution"] = dict(a["attribution"], queue_s=0.75)  # 3x shift
+    diff = diff_analysis(a, b)
+    metrics = [row["metric"] for row in diff["deltas"]]
+    assert metrics == ["attribution.queue_s", "sim_time_s"]
+    top = diff["deltas"][0]
+    assert top["a"] == 0.25 and top["b"] == 0.75
+    assert top["delta"] == 0.5
+    assert top["ratio"] == 3.0
+
+
+def test_metrics_absent_on_one_side_diff_against_zero():
+    a = analysis_doc()
+    b = analysis_doc()
+    b["stall_seconds_by_cause"] = {}
+    diff = diff_analysis(a, b)
+    rows = {row["metric"]: row for row in diff["deltas"]}
+    assert rows["stall_seconds_by_cause.memtable-full"]["b"] == 0.0
+
+
+def test_bookkeeping_and_examples_never_alarm_a_diff():
+    a = analysis_doc()
+    b = analysis_doc()
+    b["conservation"] = {"ok": False}  # not a compared section
+    b["attribution"] = dict(a["attribution"],
+                            slowest={"index": 9, "measured_s": 9.0})
+    assert diff_analysis(a, b)["deltas"] == []
+
+
+def test_verdict_names_the_biggest_mover():
+    a = analysis_doc()
+    b = analysis_doc(events=200)
+    verdict = diff_verdict(diff_analysis(a, b, "old", "new"))
+    assert "events" in verdict
+    assert "100" in verdict and "200" in verdict
+    assert "from old to new" in verdict
+
+
+# ---------------------------------------------------------------- perf mode
+
+
+def perf_run(label, wall_by_kernel, fingerprints=None):
+    kernels = {}
+    for name, wall in wall_by_kernel.items():
+        kernels[name] = {
+            "ops": 1000,
+            "wall_s": wall,
+            "kops_wall": 1.0 / wall,
+            "fingerprint": (fingerprints or {}).get(name, f"fp-{name}"),
+        }
+    return {"label": label, "store": "miodb", "ops_scale": "default",
+            "kernels": kernels}
+
+
+def test_perf_self_diff_is_empty():
+    run = perf_run("base", {"put": 0.1, "get": 0.05})
+    diff = diff_perf(run, run)
+    assert diff["deltas"] == []
+    assert diff_verdict(diff).startswith("no differences")
+
+
+def test_perf_diff_ranks_by_speedup_magnitude():
+    a = perf_run("old", {"put": 0.1, "get": 0.1, "scan": 0.1})
+    b = perf_run("new", {"put": 0.05, "get": 0.1, "scan": 0.08})
+    diff = diff_perf(a, b)
+    kernels = [row["kernel"] for row in diff["deltas"]]
+    assert kernels == ["put", "scan"]  # get unchanged -> dropped
+    assert diff["deltas"][0]["speedup"] == pytest.approx(2.0)
+    assert "put 2.00x faster" in diff_verdict(diff)
+
+
+def test_perf_diff_flags_fingerprint_drift_first():
+    a = perf_run("old", {"put": 0.1, "get": 0.1})
+    b = perf_run("new", {"put": 0.01, "get": 0.1},
+                 fingerprints={"get": "drifted"})
+    diff = diff_perf(a, b)
+    assert diff["deltas"][0]["kernel"] == "get"
+    assert diff["deltas"][0]["fingerprint_match"] is False
+    verdict = diff_verdict(diff)
+    assert "drifted" in verdict and "get" in verdict
+
+
+def test_repo_history_ranks_the_batching_pr_correctly():
+    """The recorded trajectory must diff exactly as history happened:
+    the batching PR's biggest wins were the get and put kernels."""
+    from repro.bench.perf import find_run, load_results
+
+    doc = load_results(REPO / "BENCH_perf.json")
+    a = find_run(doc, "miodb", "default", "pr5-obs")
+    b = find_run(doc, "miodb", "default", "pr6-batch")
+    if a is None or b is None:
+        pytest.skip("perf history lacks the pr5-obs/pr6-batch runs")
+    diff = diff_perf(a, b)
+    kernels = [row["kernel"] for row in diff["deltas"]]
+    assert kernels[0] == "get"
+    assert kernels[1] == "put"
+    for row in diff["deltas"]:
+        assert row["fingerprint_match"] is True
+    assert "get" in diff_verdict(diff)
+    assert "faster" in diff_verdict(diff)
+
+
+# ------------------------------------------------------- band-check verdict
+
+
+def test_check_band_embeds_the_diff_verdict():
+    from repro.bench.perf import check_band
+
+    ref = perf_run("base", {"put": 0.1, "get": 0.1})
+    cur = perf_run("current", {"put": 0.9, "get": 0.1})["kernels"]
+    violations = check_band(cur, ref, factor=3.0)
+    assert len(violations) == 1
+    assert "kernel put" in violations[0]
+    assert "; diff: " in violations[0]
+    assert "9.00x slower" in violations[0]
+    assert check_band(ref["kernels"], ref, factor=3.0) == []
+
+
+# -------------------------------------------------------------- CLI surface
+
+
+def test_cli_diff_analysis_mode(tmp_path, capsys):
+    from repro.cli import main
+
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    out = tmp_path / "diff.json"
+    a.write_text(json.dumps(analysis_doc()))
+    b.write_text(json.dumps(analysis_doc(sim_time_s=3.0)))
+    rc = main(["diff", str(a), str(b), "--out", str(out)])
+    assert rc == 0
+    shown = capsys.readouterr().out
+    assert "repro diff (analysis)" in shown
+    assert "sim_time_s" in shown
+    saved = json.loads(out.read_text())
+    assert saved["mode"] == "analysis"
+    assert saved["deltas"][0]["metric"] == "sim_time_s"
+
+
+def test_cli_diff_self_is_silent_about_deltas(tmp_path, capsys):
+    from repro.cli import main
+
+    a = tmp_path / "a.json"
+    a.write_text(json.dumps(analysis_doc()))
+    rc = main(["diff", str(a), str(a)])
+    assert rc == 0
+    assert "no differences" in capsys.readouterr().out
+
+
+def test_cli_diff_perf_mode_unknown_label_fails(tmp_path, capsys):
+    from repro.cli import main
+
+    history = tmp_path / "perf.json"
+    history.write_text(json.dumps({"schema": 1, "runs": [
+        perf_run("only", {"put": 0.1}),
+    ]}))
+    rc = main(["diff", "--perf", "--json", str(history), "only", "missing"])
+    assert rc == 2
+    assert "no recorded run" in capsys.readouterr().err
+
+
+def test_cli_diff_perf_mode(tmp_path, capsys):
+    from repro.cli import main
+
+    history = tmp_path / "perf.json"
+    history.write_text(json.dumps({"schema": 1, "runs": [
+        perf_run("old", {"put": 0.1}),
+        perf_run("new", {"put": 0.05}),
+    ]}))
+    rc = main(["diff", "--perf", "--json", str(history), "old", "new"])
+    assert rc == 0
+    shown = capsys.readouterr().out
+    assert "repro diff (perf)" in shown
+    assert "put 2.00x faster" in shown
+
+
+def test_render_diff_truncates_with_a_pointer():
+    a = analysis_doc()
+    b = analysis_doc()
+    b["stall_seconds_by_cause"] = {f"cause{i}": float(i + 1) for i in range(9)}
+    # Not in the stall vocabulary, but diff inputs are plain documents.
+    diff = diff_analysis(a, b)
+    text = render_diff(diff, top=3)
+    assert "more rows" in text

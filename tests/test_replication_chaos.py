@@ -69,3 +69,38 @@ def test_quorum_acks_survive_every_fired_kill():
     report = run("matrixkv", 13, ack_policy=ACK_QUORUM, kills=4, ops=400)
     assert report["acked_lost"] == 0
     assert report["ok"], report["checks"]
+
+
+# ------------------------------------------------------------ traced chaos
+
+
+def test_traced_chaos_report_matches_untraced_modulo_timelines(tmp_path):
+    plain = run("miodb", 7)
+    traced = run("miodb", 7, trace=str(tmp_path / "chaos.json"))
+    assert (tmp_path / "chaos.json").exists()
+    for doc in traced["groups"]:
+        assert "failover_timeline" in doc
+        doc.pop("failover_timeline")
+    assert chaos_report_json(traced) == chaos_report_json(plain)
+
+
+def test_traced_chaos_is_byte_identical_across_runs(tmp_path):
+    first = run("miodb", 7, trace=str(tmp_path / "a.json"))
+    second = run("miodb", 7, trace=str(tmp_path / "b.json"))
+    assert chaos_report_json(first) == chaos_report_json(second)
+    assert (tmp_path / "a.json").read_bytes() == (tmp_path / "b.json").read_bytes()
+
+
+def test_traced_chaos_timelines_resolve_leader_kills(tmp_path):
+    report = run("miodb", 7, trace=str(tmp_path / "chaos.json"))
+    leader_kills = [f for f in report["fired"] if f["target"] == "leader"]
+    timelines = [
+        tl for doc in report["groups"]
+        for tl in doc["failover_timeline"]
+        if tl["role"] == "leader"
+    ]
+    assert len(timelines) >= len(leader_kills)
+    for tl in timelines:
+        if tl["repoint_t_s"] is not None:
+            assert tl["winner"] is not None
+            assert tl["duration_s"] > 0.0
